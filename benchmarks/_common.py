@@ -1,0 +1,103 @@
+"""Shared measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.lir_error import PairSample
+from repro.sim import MeshNetwork, no_shadowing_propagation, random_link_pair
+from repro.sim.measurement import PairMeasurement, measure_pair
+from repro.sim.topology import LinkPairTopology, classify_pair
+
+
+@dataclass
+class MeasuredPair:
+    """One measured link pair plus its topology class and data rate."""
+
+    topology_class: str
+    rate_mbps: float
+    measurement: PairMeasurement
+
+    @property
+    def lir(self) -> float:
+        return self.measurement.lir
+
+    def as_sample(self) -> PairSample:
+        m = self.measurement
+        return PairSample(c11=m.c11, c22=m.c22, c31=m.c31, c32=m.c32)
+
+
+def build_pair_network(
+    topology: LinkPairTopology, rate_mbps: float, seed: int, **kwargs
+) -> MeshNetwork:
+    """A deterministic two-link network for a given pair topology."""
+    return MeshNetwork(
+        topology.positions,
+        seed=seed,
+        propagation=no_shadowing_propagation(),
+        data_rate_mbps=rate_mbps,
+        **kwargs,
+    )
+
+
+def measure_pair_topology(
+    topology: LinkPairTopology,
+    rate_mbps: float,
+    seed: int = 1,
+    duration_s: float = 1.0,
+    rate2_mbps: float | None = None,
+) -> MeasuredPair:
+    """Run the two-phase pair measurement on one topology."""
+    network = build_pair_network(topology, rate_mbps, seed)
+    if rate2_mbps is not None:
+        network.set_link_rate((2, 3), rate2_mbps)
+    flow1 = network.add_udp_flow([0, 1], payload_bytes=1470)
+    flow2 = network.add_udp_flow([2, 3], payload_bytes=1470)
+    measurement = measure_pair(network, flow1, flow2, duration_s=duration_s)
+    topo_class = classify_pair(network.medium, topology.link1, topology.link2)
+    return MeasuredPair(
+        topology_class=topo_class, rate_mbps=rate_mbps, measurement=measurement
+    )
+
+
+def measure_random_pairs(
+    num_pairs: int,
+    rate_mbps: float,
+    seed: int = 0,
+    duration_s: float = 1.0,
+    usable_snr_db: float = 14.0,
+) -> list[MeasuredPair]:
+    """Measure LIRs of random link pairs (the Figure 3 methodology).
+
+    Pairs whose links are not individually usable at the chosen rate are
+    skipped (the paper only measures working links).
+    """
+    rng = np.random.default_rng(seed)
+    results: list[MeasuredPair] = []
+    attempts = 0
+    while len(results) < num_pairs and attempts < num_pairs * 8:
+        attempts += 1
+        topology = random_link_pair(rng)
+        network = build_pair_network(topology, rate_mbps, seed=attempts)
+        usable = True
+        for tx, rx in topology.links:
+            snr = network.medium.rx_power_dbm(tx, rx) - network.medium.capture.noise_floor_dbm
+            if snr < usable_snr_db:
+                usable = False
+        if not usable:
+            continue
+        flow1 = network.add_udp_flow([0, 1], payload_bytes=1470)
+        flow2 = network.add_udp_flow([2, 3], payload_bytes=1470)
+        measurement = measure_pair(network, flow1, flow2, duration_s=duration_s)
+        if measurement.c11 <= 0 or measurement.c22 <= 0:
+            continue
+        results.append(
+            MeasuredPair(
+                topology_class=classify_pair(network.medium, topology.link1, topology.link2),
+                rate_mbps=rate_mbps,
+                measurement=measurement,
+            )
+        )
+    return results

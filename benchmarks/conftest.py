@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the
+paper's evaluation.  Heavy simulations run exactly once per benchmark
+(``rounds=1``); the printed ``ExperimentReport`` blocks are what ends up
+in ``bench_output.txt`` and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Re-print every emitted paper-vs-measured report after the run.
+
+    Per-test stdout is captured by pytest; this hook makes the experiment
+    reports part of the terminal summary so ``bench_output.txt`` contains
+    them alongside the benchmark timings.
+    """
+    from repro.analysis.reporting import drain_emitted_reports
+
+    reports = drain_emitted_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "paper vs measured reports")
+    for report in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(report.render())

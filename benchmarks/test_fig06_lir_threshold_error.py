@@ -1,0 +1,59 @@
+"""Figure 6 / Section 4.4 — expected FP/FN error of the binary LIR model
+as a function of the threshold, computed over a measured LIR distribution.
+
+The paper derives the error geometrically (areas A1/A2 of Figure 6) and
+reports an expected FP error of ~2% and FN error of ~13.3% at the chosen
+threshold of 0.95 for its testbed's LIR distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ExperimentReport, format_table
+from repro.core import expected_errors, threshold_sweep
+
+from _common import measure_random_pairs
+from conftest import run_once
+
+PAIRS_PER_RATE = 10
+MEASURE_S = 0.8
+THRESHOLDS = [0.7, 0.8, 0.9, 0.95, 0.99]
+
+
+def _collect_samples():
+    samples = []
+    for rate in (1, 11):
+        for pair in measure_random_pairs(PAIRS_PER_RATE, rate, seed=100 + rate, duration_s=MEASURE_S):
+            samples.append(pair.as_sample())
+    return samples
+
+
+def test_fig06_expected_errors_vs_threshold(benchmark):
+    samples = run_once(benchmark, _collect_samples)
+    assert len(samples) >= 12
+    sweep = threshold_sweep(samples, THRESHOLDS)
+    at_paper_threshold = expected_errors(samples, 0.95)
+    report = ExperimentReport(
+        "Figure 6 / Sec. 4.4", "expected FP/FN error of the binary LIR model vs threshold"
+    )
+    report.add(
+        format_table(
+            ["threshold", "E[FP]", "E[FN]", "classified interfering"],
+            [
+                [e.threshold, e.expected_false_positive, e.expected_false_negative,
+                 f"{e.num_classified_interfering}/{e.num_samples}"]
+                for e in sweep
+            ],
+        )
+    )
+    report.add_comparison("E[FP] at threshold 0.95", "~2%", f"{at_paper_threshold.expected_false_positive:.1%}")
+    report.add_comparison("E[FN] at threshold 0.95", "~13.3%", f"{at_paper_threshold.expected_false_negative:.1%}")
+    report.emit()
+    # Shape: FP decreases and FN increases with the threshold; at 0.95 the
+    # FP error is small.
+    fps = [e.expected_false_positive for e in sweep]
+    fns = [e.expected_false_negative for e in sweep]
+    assert all(b <= a + 1e-9 for a, b in zip(fps, fps[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(fns, fns[1:]))
+    assert at_paper_threshold.expected_false_positive < 0.10

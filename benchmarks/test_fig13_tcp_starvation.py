@@ -1,0 +1,81 @@
+"""Figure 13 — two-flow upstream TCP starvation, with and without rate
+control.
+
+A 1-hop and a 2-hop TCP flow send upstream to a gateway at 1 Mb/s.  The
+paper shows: TCP-noRC and TCP-Max achieve (near-)maximum aggregate
+throughput but starve the 2-hop flow; TCP-Prop lifts the starving flow
+at some cost in aggregate throughput; rate control also stabilises both
+flows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import ExperimentReport, format_table, jain_fairness_index
+from repro.core import MAX_THROUGHPUT, OnlineOptimizer, PROPORTIONAL_FAIR
+from repro.sim.scenarios import starvation_scenario
+
+from conftest import run_once
+
+PROBE_WARMUP_S = 50.0
+MEASURE_S = 20.0
+RUNS_PER_VARIANT = 2
+
+
+def _run_variant(utility, seed):
+    scenario = starvation_scenario(seed=seed, data_rate_mbps=1)
+    network = scenario.network
+    if utility is not None:
+        network.enable_probing(period_s=0.5)
+        network.run(PROBE_WARMUP_S)
+        controller = OnlineOptimizer(
+            network, scenario.flows, utility=utility, probing_window=90
+        )
+        controller.run_cycle()
+    scenario.two_hop.start()
+    scenario.one_hop.start()
+    network.run(MEASURE_S)
+    start, end = network.now - (MEASURE_S - 5.0), network.now
+    return (
+        scenario.two_hop.throughput_bps(start, end),
+        scenario.one_hop.throughput_bps(start, end),
+    )
+
+
+def _run_all():
+    variants = {"TCP-noRC": None, "TCP-Max": MAX_THROUGHPUT, "TCP-Prop": PROPORTIONAL_FAIR}
+    results = {}
+    for name, utility in variants.items():
+        runs = [_run_variant(utility, seed) for seed in range(RUNS_PER_VARIANT)]
+        results[name] = runs
+    return results
+
+
+def test_fig13_tcp_starvation(benchmark):
+    results = run_once(benchmark, _run_all)
+    report = ExperimentReport("Figure 13", "upstream TCP starvation with and without rate control")
+    rows = []
+    summary = {}
+    for name, runs in results.items():
+        two_hop = float(np.mean([r[0] for r in runs]))
+        one_hop = float(np.mean([r[1] for r in runs]))
+        total = two_hop + one_hop
+        jfi = jain_fairness_index([two_hop, one_hop])
+        summary[name] = dict(two_hop=two_hop, one_hop=one_hop, total=total, jfi=jfi)
+        rows.append([name, two_hop / 1e3, one_hop / 1e3, total / 1e3, jfi])
+    report.add(format_table(["variant", "2-hop kb/s", "1-hop kb/s", "total kb/s", "Jain index"], rows))
+    report.add_comparison(
+        "TCP-noRC / TCP-Max starve the 2-hop flow", "2-hop flow near zero",
+        f"noRC 2-hop = {summary['TCP-noRC']['two_hop']/1e3:.1f} kb/s",
+    )
+    report.add_comparison(
+        "TCP-Prop lifts the starving flow", "2-hop flow gets a substantial share",
+        f"Prop 2-hop = {summary['TCP-Prop']['two_hop']/1e3:.1f} kb/s",
+    )
+    report.emit()
+    # Shape assertions.
+    assert summary["TCP-noRC"]["two_hop"] < 0.15 * summary["TCP-noRC"]["one_hop"]
+    assert summary["TCP-Prop"]["two_hop"] > 3.0 * summary["TCP-noRC"]["two_hop"]
+    assert summary["TCP-Prop"]["jfi"] > summary["TCP-noRC"]["jfi"]
+    assert summary["TCP-Max"]["total"] > 0.75 * summary["TCP-noRC"]["total"]

@@ -1,0 +1,130 @@
+"""Figure 14 — TCP performance across multi-hop, multi-flow scenarios
+with and without rate control.
+
+Reports the four panels of the figure: (a) aggregate throughput of
+rate-controlled TCP relative to plain TCP, (b) Jain fairness index,
+(c) flow-isolation feasibility (achieved over optimized rate) and
+(d) stability across repeated runs of the same configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    ExperimentReport,
+    format_table,
+    jain_fairness_index,
+    stability_deviations,
+)
+from repro.core import MAX_THROUGHPUT, OnlineOptimizer, PROPORTIONAL_FAIR
+from repro.sim.scenarios import random_multiflow_scenario
+
+from conftest import run_once
+
+SCENARIO_SPECS = [
+    dict(seed=7, num_flows=3, rate_mode="11"),
+    dict(seed=3, num_flows=3, rate_mode="mixed"),
+]
+PROBE_WARMUP_S = 45.0
+MEASURE_S = 12.0
+RUNS = 2
+
+
+def _run_one(spec, utility, run_seed):
+    scenario = random_multiflow_scenario(transport="tcp", run_seed=run_seed, **spec)
+    network = scenario.network
+    targets = None
+    if utility is not None:
+        network.enable_probing(period_s=0.5)
+        network.run(PROBE_WARMUP_S)
+        controller = OnlineOptimizer(
+            network, scenario.flows, utility=utility, probing_window=80,
+            payload_bytes=1460,
+        )
+        decision = controller.run_cycle()
+        targets = [decision.target_outputs_bps[f.flow_id] for f in scenario.flows]
+    for flow in scenario.flows:
+        flow.start()
+    network.run(MEASURE_S)
+    start, end = network.now - MEASURE_S + 2.0, network.now
+    achieved = [flow.throughput_bps(start, end) for flow in scenario.flows]
+    return achieved, targets
+
+
+def _run_all():
+    data = {}
+    for name, utility in (("noRC", None), ("Max", MAX_THROUGHPUT), ("Prop", PROPORTIONAL_FAIR)):
+        per_scenario = []
+        for spec in SCENARIO_SPECS:
+            runs = [_run_one(spec, utility, run_seed=1000 + r) for r in range(RUNS)]
+            per_scenario.append(runs)
+        data[name] = per_scenario
+    return data
+
+
+def test_fig14_tcp_multiflow(benchmark):
+    data = run_once(benchmark, _run_all)
+    report = ExperimentReport("Figure 14", "multi-flow TCP with and without rate control")
+
+    def mean_achieved(runs):
+        return np.mean([sum(achieved) for achieved, _ in runs])
+
+    rows = []
+    ratios_max, ratios_prop, jfi_norc, jfi_prop = [], [], [], []
+    feasibility = []
+    stability_rc, stability_norc = [], []
+    for index in range(len(SCENARIO_SPECS)):
+        base = mean_achieved(data["noRC"][index])
+        for name in ("noRC", "Max", "Prop"):
+            runs = data[name][index]
+            aggregate = mean_achieved(runs)
+            mean_flow_rates = np.mean([achieved for achieved, _ in runs], axis=0)
+            jfi = jain_fairness_index(mean_flow_rates)
+            rows.append([f"scenario {index}", name, aggregate / 1e3, aggregate / max(base, 1.0), jfi])
+            if name == "Max":
+                ratios_max.append(aggregate / max(base, 1.0))
+            if name == "Prop":
+                ratios_prop.append(aggregate / max(base, 1.0))
+                jfi_prop.append(jfi)
+                for achieved, targets in runs:
+                    feasibility.extend(
+                        a / max(t, 1.0) for a, t in zip(achieved, targets)
+                    )
+            if name == "noRC":
+                jfi_norc.append(jfi)
+            # Stability: per-flow relative deviation across repeated runs.
+            per_flow = np.array([achieved for achieved, _ in runs])
+            for flow_index in range(per_flow.shape[1]):
+                deviations = stability_deviations(per_flow[:, flow_index])
+                (stability_norc if name == "noRC" else stability_rc).extend(deviations)
+
+    report.add(format_table(
+        ["scenario", "variant", "aggregate kb/s", "vs noRC", "Jain index"], rows
+    ))
+    report.add_comparison("(a) TCP-Max aggregate vs noRC", "up to 1.45x", f"{max(ratios_max):.2f}x")
+    report.add_comparison(
+        "(a) TCP-Prop aggregate vs noRC", ">=0.8x in 80% of scenarios",
+        f"{[round(r, 2) for r in ratios_prop]}",
+    )
+    report.add_comparison(
+        "(b) fairness", "TCP-Prop improves the Jain index over noRC",
+        f"mean JFI prop={float(np.mean(jfi_prop)):.2f} vs noRC={float(np.mean(jfi_norc)):.2f}",
+    )
+    report.add_comparison(
+        "(c) feasibility", "70% of flows achieve >=90% of their optimized rate",
+        f"{float(np.mean([f >= 0.9 for f in feasibility])):.0%} of flows >=0.9 "
+        f"(median ratio {float(np.median(feasibility)):.2f})",
+    )
+    report.add_comparison(
+        "(d) stability", "70% of RC flows deviate <10% across runs (40% for noRC)",
+        f"RC mean deviation {float(np.mean(stability_rc)):.2f}, "
+        f"noRC mean deviation {float(np.mean(stability_norc)):.2f}",
+    )
+    report.emit()
+    # Shape assertions: rate control does not collapse aggregate throughput,
+    # proportional fairness does not reduce fairness, and most flows reach a
+    # large fraction of their optimized rates.
+    assert max(ratios_max) > 0.7
+    assert float(np.mean(jfi_prop)) >= float(np.mean(jfi_norc)) - 0.05
+    assert float(np.median(feasibility)) > 0.5

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Online capacity estimation on a lossy, interfered link.
+
+Demonstrates the measurement pipeline of Section 5 of the paper:
+
+1. a link with a prescribed channel loss rate carries broadcast probes
+   while a neighbouring link blasts backlogged UDP traffic (collisions!);
+2. the channel-loss estimator separates channel losses from collision
+   losses using the sliding-window minimum curve;
+3. Eq. (6) converts the estimated channel loss into a max-UDP-throughput
+   estimate, which is compared against the ground truth (the throughput
+   the link actually achieves when transmitting alone, backlogged) and
+   against the Ad Hoc Probe packet-pair baseline.
+
+Run with:  python examples/capacity_estimation_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.core import CapacityModel, estimate_channel_loss_rate
+from repro.net.adhoc_probe import AdHocProbe
+from repro.sim import MeshNetwork, carrier_sense_pair, measure_isolated, no_shadowing_propagation
+
+CHANNEL_LOSS = 0.25          # prescribed ground-truth channel loss of the link
+PROBING_PERIOD_S = 0.25
+PROBING_WINDOW = 400
+
+
+def main() -> None:
+    topo = carrier_sense_pair()
+    network = MeshNetwork(
+        topo.positions,
+        seed=3,
+        propagation=no_shadowing_propagation(),
+        data_rate_mbps=11,
+        link_error_override={(0, 1): CHANNEL_LOSS},
+    )
+    measured_link = (0, 1)
+    flow = network.add_udp_flow([0, 1], payload_bytes=1470)
+    interferer = network.add_udp_flow([2, 3], payload_bytes=1470)
+
+    # Ground truth: max UDP throughput of the link transmitting alone.
+    truth = measure_isolated(network, flow, duration_s=3.0)
+    print(f"ground-truth maxUDP throughput : {truth.throughput_bps / 1e6:.2f} Mb/s "
+          f"(UDP loss rate {truth.loss_rate:.2f})")
+
+    # Online phase: probes + interfering traffic + Ad Hoc Probe packets.
+    network.enable_probing(period_s=PROBING_PERIOD_S)
+    adhoc = AdHocProbe(network.sim, network.node(0), network.node(1), pair_interval_s=0.5)
+    adhoc.start(num_pairs=120)
+    interferer.start()
+    network.run(PROBING_WINDOW * PROBING_PERIOD_S + 5.0)
+    interferer.stop()
+
+    probing = network.probing
+    data_series = probing.loss_series(0, 1, "data", last_n=PROBING_WINDOW)
+    ack_series = probing.loss_series(1, 0, "ack", last_n=PROBING_WINDOW)
+    data_estimate = estimate_channel_loss_rate(data_series)
+    ack_estimate = estimate_channel_loss_rate(ack_series)
+
+    print(f"\nmeasured probe loss (DATA)     : {data_estimate.measured_loss_rate:.3f}")
+    print(f"estimated channel loss (DATA)  : {data_estimate.channel_loss_rate:.3f} "
+          f"(estimator case {data_estimate.case}, W*={data_estimate.selected_window})")
+    print(f"estimated channel loss (ACK)   : {ack_estimate.channel_loss_rate:.3f}")
+
+    capacity_model = CapacityModel(payload_bytes=1470, rate=network.link_rate(measured_link))
+    p_link = 1 - (1 - data_estimate.channel_loss_rate) * (1 - ack_estimate.channel_loss_rate)
+    online_capacity = capacity_model.max_udp_throughput_bps(p_link)
+    adhoc_estimate = adhoc.capacity_estimate_bps() or 0.0
+
+    print(f"\nonline capacity estimate (Eq.6): {online_capacity / 1e6:.2f} Mb/s")
+    print(f"Ad Hoc Probe estimate          : {adhoc_estimate / 1e6:.2f} Mb/s")
+    print(f"nominal (loss-free) throughput : {capacity_model.nominal_throughput_bps() / 1e6:.2f} Mb/s")
+    print(
+        "\nThe Eq.(6) estimate tracks the ground truth despite the interfering\n"
+        "traffic, while Ad Hoc Probe reports something close to the nominal\n"
+        "rate and over-estimates the lossy link (cf. Figure 11 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Thin setup.py shim; configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

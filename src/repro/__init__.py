@@ -1,0 +1,34 @@
+"""repro — reproduction of "Online Optimization of 802.11 Mesh Networks"
+(Salonidis, Sotiropoulos, Guérin, Govindan — ACM CoNEXT 2009).
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.phy`, :mod:`repro.mac`, :mod:`repro.net`,
+  :mod:`repro.transport`, :mod:`repro.sim` — the substrate: a packet-level
+  802.11 DCF mesh simulator standing in for the paper's 18-node testbed.
+* :mod:`repro.core` — the contribution: the convex feasibility-region
+  model, its online estimation (capacity representation, channel-loss
+  estimator, two-hop interference) and the utility-maximising
+  rate-control loop.
+* :mod:`repro.analysis` — metrics and reporting used by the benchmark
+  harness that regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.sim import MeshNetwork, testbed_positions, testbed_propagation
+    from repro.core import OnlineOptimizer, PROPORTIONAL_FAIR
+
+    net = MeshNetwork(testbed_positions(), seed=1,
+                      propagation=testbed_propagation(), data_rate_mbps=11)
+    flow = net.add_tcp_flow([0, 1, 4])
+    net.enable_probing()
+    net.run(120.0)                      # let probes accumulate
+    controller = OnlineOptimizer(net, [flow])
+    decision = controller.run_cycle()   # estimate, optimize, shape
+    flow.start()
+    net.run(30.0)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["phy", "mac", "net", "transport", "sim", "core", "analysis", "__version__"]

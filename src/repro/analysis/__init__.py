@@ -1,0 +1,32 @@
+"""Metrics (Jain index, RMSE, CDFs, isolation metrics) and plain-text
+reporting helpers used by the benchmark harness."""
+
+from repro.analysis.metrics import (
+    cdf_fraction_below,
+    empirical_cdf,
+    feasibility_ratio,
+    jain_fairness_index,
+    relative_error,
+    rmse,
+    stability_deviations,
+)
+from repro.analysis.reporting import (
+    ExperimentReport,
+    drain_emitted_reports,
+    format_cdf_summary,
+    format_table,
+)
+
+__all__ = [
+    "cdf_fraction_below",
+    "empirical_cdf",
+    "feasibility_ratio",
+    "jain_fairness_index",
+    "relative_error",
+    "rmse",
+    "stability_deviations",
+    "ExperimentReport",
+    "drain_emitted_reports",
+    "format_cdf_summary",
+    "format_table",
+]

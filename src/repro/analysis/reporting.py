@@ -1,0 +1,90 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+Every benchmark regenerates the rows/series of one table or figure of the
+paper; these helpers render them consistently so ``bench_output.txt``
+reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_cdf_summary(name: str, values: Sequence[float], percentiles=(10, 25, 50, 75, 90)) -> str:
+    """One-line summary of a distribution (used in place of CDF plots)."""
+    import numpy as np
+
+    x = np.asarray(list(values), dtype=float)
+    parts = [f"{name}: n={x.size}"]
+    if x.size:
+        parts.append(f"mean={x.mean():.3f}")
+        for p in percentiles:
+            parts.append(f"p{p}={np.percentile(x, p):.3f}")
+    return "  ".join(parts)
+
+
+@dataclass
+class ExperimentReport:
+    """Accumulates paper-vs-measured lines for one experiment."""
+
+    experiment_id: str
+    description: str
+    lines: list[str] = field(default_factory=list)
+
+    def add(self, line: str) -> None:
+        self.lines.append(line)
+
+    def add_comparison(self, quantity: str, paper_value: str, measured_value: str) -> None:
+        self.lines.append(f"{quantity}: paper={paper_value}  measured={measured_value}")
+
+    def render(self) -> str:
+        header = f"=== {self.experiment_id}: {self.description} ==="
+        return "\n".join([header, *self.lines])
+
+    def emit(self) -> None:
+        """Print the report and register it for the benchmark summary.
+
+        pytest captures per-test output, so the benchmark harness also
+        collects emitted reports via :func:`drain_emitted_reports` and
+        re-prints them in its terminal summary, which is what ends up in
+        ``bench_output.txt``.
+        """
+        _EMITTED_REPORTS.append(self)
+        print("\n" + self.render())
+
+
+#: Reports emitted since the last drain (consumed by the benchmark harness).
+_EMITTED_REPORTS: list[ExperimentReport] = []
+
+
+def drain_emitted_reports() -> list[ExperimentReport]:
+    """Return (and clear) every report emitted since the last call."""
+    reports = list(_EMITTED_REPORTS)
+    _EMITTED_REPORTS.clear()
+    return reports

@@ -1,0 +1,157 @@
+"""Two-link feasibility geometry (Figures 1, 5 and 6 of the paper).
+
+For a pair of links the candidate regions have closed forms:
+
+* the **time-sharing region** ``y1/c11 + y2/c22 <= 1`` (the binary model
+  when the pair is classified interfering),
+* the **independent region** ``y1 <= c11, y2 <= c22`` (the binary model
+  when the pair is classified non-interfering),
+* the **three-point region**: the downward closure of the convex hull of
+  ``(c11, 0)``, ``(c31, c32)`` and ``(0, c22)`` — the reference model the
+  paper uses to quantify the binary model's errors (Section 4.4).
+
+This module provides membership tests, areas and the FP/FN error measures
+derived from those areas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TwoLinkRegions:
+    """Feasibility-region geometry of one interfering link pair.
+
+    Attributes:
+        c11: max UDP throughput of link 1 alone (primary extreme point).
+        c22: max UDP throughput of link 2 alone (primary extreme point).
+        c31: throughput of link 1 when both links are backlogged.
+        c32: throughput of link 2 when both links are backlogged.
+    """
+
+    c11: float
+    c22: float
+    c31: float | None = None
+    c32: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.c11 <= 0 or self.c22 <= 0:
+            raise ValueError("primary extreme points must be positive")
+        if (self.c31 is None) != (self.c32 is None):
+            raise ValueError("c31 and c32 must be provided together")
+        if self.c31 is not None and (self.c31 < 0 or self.c32 < 0):
+            raise ValueError("secondary extreme point must be non-negative")
+
+    # -------------------------------------------------------------- membership
+    def in_time_sharing(self, y1: float, y2: float, tolerance: float = 1e-9) -> bool:
+        """Membership in the time-sharing region."""
+        if y1 < -tolerance or y2 < -tolerance:
+            return False
+        return y1 / self.c11 + y2 / self.c22 <= 1.0 + tolerance
+
+    def in_independent(self, y1: float, y2: float, tolerance: float = 1e-9) -> bool:
+        """Membership in the independent (rectangular) region."""
+        if y1 < -tolerance or y2 < -tolerance:
+            return False
+        return y1 <= self.c11 * (1.0 + tolerance) and y2 <= self.c22 * (1.0 + tolerance)
+
+    def in_three_point(self, y1: float, y2: float, tolerance: float = 1e-9) -> bool:
+        """Membership in the three-point region (requires c31/c32).
+
+        The region is the downward closure of the hull of the primary
+        points and (c31, c32): below the segment (c11,0)-(c31,c32) and
+        below the segment (c31,c32)-(0,c22) (whenever those segments
+        actually expand the region beyond time-sharing, otherwise the
+        time-sharing test applies).
+        """
+        if self.c31 is None:
+            raise ValueError("three-point region requires the secondary extreme point")
+        if y1 < -tolerance or y2 < -tolerance:
+            return False
+        if not self.in_independent(y1, y2, tolerance):
+            return False
+        if self.in_time_sharing(y1, y2, tolerance):
+            return True
+        # Above the time-sharing line: the point must lie below both hull
+        # edges through (c31, c32).
+        return self._below_edge(self.c11, 0.0, self.c31, self.c32, y1, y2, tolerance) and (
+            self._below_edge(self.c31, self.c32, 0.0, self.c22, y1, y2, tolerance)
+        )
+
+    @staticmethod
+    def _below_edge(
+        x1: float, y1: float, x2: float, y2: float, px: float, py: float, tol: float
+    ) -> bool:
+        """Whether (px, py) lies on the origin side of the edge (x1,y1)-(x2,y2)."""
+        cross = (x2 - x1) * (py - y1) - (y2 - y1) * (px - x1)
+        # Orient the edge so the origin gives a negative cross product.
+        origin_cross = (x2 - x1) * (0.0 - y1) - (y2 - y1) * (0.0 - x1)
+        if origin_cross > 0:
+            cross = -cross
+        scale = max(abs(x1), abs(x2), abs(y1), abs(y2), 1.0)
+        return cross <= tol * scale * scale
+
+    # ------------------------------------------------------------------- areas
+    @property
+    def time_sharing_area(self) -> float:
+        """Area ``A1`` of the time-sharing triangle."""
+        return 0.5 * self.c11 * self.c22
+
+    @property
+    def independent_area(self) -> float:
+        """Area of the independent rectangle (``c11 * c22``)."""
+        return self.c11 * self.c22
+
+    @property
+    def three_point_area(self) -> float:
+        """Area ``A1 + A2`` of the three-point region.
+
+        When (c31, c32) lies inside the time-sharing triangle the hull
+        degenerates to the triangle itself and the area equals ``A1``.
+        """
+        if self.c31 is None:
+            raise ValueError("three-point area requires the secondary extreme point")
+        if self.in_time_sharing(self.c31, self.c32):
+            return self.time_sharing_area
+        # Shoelace area of polygon (0,0) -> (c11,0) -> (c31,c32) -> (0,c22).
+        xs = [0.0, self.c11, self.c31, 0.0]
+        ys = [0.0, 0.0, self.c32, self.c22]
+        area = 0.0
+        for i in range(len(xs)):
+            j = (i + 1) % len(xs)
+            area += xs[i] * ys[j] - xs[j] * ys[i]
+        return abs(area) / 2.0
+
+    @property
+    def capture_gain_area(self) -> float:
+        """Area ``A2`` gained above time-sharing thanks to capture."""
+        return max(0.0, self.three_point_area - self.time_sharing_area)
+
+    # --------------------------------------------------------------- LIR & co.
+    @property
+    def lir(self) -> float:
+        """LIR of the pair (requires c31/c32)."""
+        if self.c31 is None:
+            raise ValueError("LIR requires the secondary extreme point")
+        return (self.c31 + self.c32) / (self.c11 + self.c22)
+
+    def false_negative_error(self) -> float:
+        """FN error when the binary model picks the time-sharing region.
+
+        Fraction of the true (three-point) region missed: ``A2/(A1+A2)``.
+        """
+        total = self.three_point_area
+        if total <= 0:
+            return 0.0
+        return self.capture_gain_area / total
+
+    def false_positive_error(self) -> float:
+        """FP error when the binary model picks the independent region.
+
+        Relative over-estimation: ``(c11*c22 - (A1+A2)) / (A1+A2)``.
+        """
+        total = self.three_point_area
+        if total <= 0:
+            return 0.0
+        return max(0.0, (self.independent_area - total) / total)

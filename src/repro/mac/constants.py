@@ -1,0 +1,77 @@
+"""802.11b/g MAC timing and protocol constants.
+
+Values follow the 802.11b/g (DSSS/CCK, long slot) parameter set used by
+the paper's testbed: 20 microsecond slots, SIFS 10 us, DIFS 50 us,
+CWmin 31, CWmax 1023.  The contention-window parameters feed both the DCF
+simulator and the closed-form capacity representation of Eq. (6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Size in bytes of a MAC-layer 802.11 ACK frame.
+ACK_FRAME_BYTES = 14
+#: MAC header (24) + FCS (4) + LLC/SNAP (8) overhead added to every DATA frame.
+MAC_OVERHEAD_BYTES = 36
+#: IPv4 header bytes.
+IP_HEADER_BYTES = 20
+#: UDP header bytes.
+UDP_HEADER_BYTES = 8
+#: TCP header bytes.
+TCP_HEADER_BYTES = 20
+#: Total header overhead (MAC + IP + UDP) carried on top of a UDP payload.
+UDP_TOTAL_HEADER_BYTES = MAC_OVERHEAD_BYTES + IP_HEADER_BYTES + UDP_HEADER_BYTES
+#: Size of a TCP ACK segment on the wire (MAC + IP + TCP headers, no payload).
+TCP_ACK_BYTES = MAC_OVERHEAD_BYTES + IP_HEADER_BYTES + TCP_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Tunable DCF parameters.
+
+    Attributes:
+        slot_s: backoff slot duration.
+        sifs_s: short inter-frame space.
+        difs_s: DCF inter-frame space.
+        cw_min: minimum contention window (W0 - 1 slots drawn uniformly).
+        cw_max: maximum contention window.
+        retry_limit: number of transmission attempts before a unicast
+            frame is dropped (the paper's Madwifi default behaviour).
+        queue_limit: interface queue capacity in frames.
+        ack_timeout_slack_s: extra guard time added to the ACK timeout.
+    """
+
+    slot_s: float = 20e-6
+    sifs_s: float = 10e-6
+    difs_s: float = 50e-6
+    cw_min: int = 31
+    cw_max: int = 1023
+    retry_limit: int = 7
+    queue_limit: int = 100
+    ack_timeout_slack_s: float = 40e-6
+
+    @property
+    def w0(self) -> int:
+        """Initial contention window size (number of slots, W0)."""
+        return self.cw_min + 1
+
+    @property
+    def wmax(self) -> int:
+        """Maximum contention window size (Wm)."""
+        return self.cw_max + 1
+
+    @property
+    def max_backoff_stage(self) -> int:
+        """Backoff stage m at which the contention window saturates."""
+        stage = 0
+        cw = self.cw_min
+        while cw < self.cw_max:
+            cw = min(2 * (cw + 1) - 1, self.cw_max)
+            stage += 1
+        return stage
+
+
+#: Default MAC configuration (802.11b/g long slot).
+DEFAULT_MAC_CONFIG = MacConfig()

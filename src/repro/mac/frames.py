@@ -1,0 +1,73 @@
+"""MAC frame representation.
+
+Frames are what travels over the simulated medium.  They carry an opaque
+``payload`` (a network-layer :class:`repro.net.packet.Packet` or probe
+object) plus the addressing and sizing information the MAC and PHY need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.phy.radio import PhyRate
+
+#: Link-layer broadcast address.
+BROADCAST_ADDR = -1
+
+_frame_ids = itertools.count()
+
+
+class FrameKind(Enum):
+    """The three kinds of frames the DCF simulator exchanges."""
+
+    DATA = "data"
+    ACK = "ack"
+    BROADCAST = "broadcast"
+
+
+@dataclass
+class Frame:
+    """A MAC frame in flight.
+
+    Attributes:
+        kind: DATA (unicast, acknowledged, retransmitted), ACK, or
+            BROADCAST (single attempt, no acknowledgment).
+        src: transmitting node id.
+        dst: receiving node id, or :data:`BROADCAST_ADDR`.
+        size_bytes: full frame size on the air (MAC header + payload + FCS).
+        rate: modulation used for the frame body.
+        payload: opaque upper-layer object delivered to the receiver.
+        retries: number of retransmissions already performed.
+    """
+
+    kind: FrameKind
+    src: int
+    dst: int
+    size_bytes: int
+    rate: PhyRate
+    payload: Any = None
+    retries: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST_ADDR or self.kind is FrameKind.BROADCAST
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("frame size must be positive")
+
+
+def make_ack(data_frame: Frame, ack_bytes: int, rate: PhyRate) -> Frame:
+    """Build the 802.11 ACK frame acknowledging ``data_frame``."""
+    return Frame(
+        kind=FrameKind.ACK,
+        src=data_frame.dst,
+        dst=data_frame.src,
+        size_bytes=ack_bytes,
+        rate=rate,
+        payload=data_frame.frame_id,
+    )

@@ -1,0 +1,331 @@
+"""The shared wireless medium.
+
+The medium glues the PHY to the per-node MACs: it tracks every ongoing
+transmission, computes the power each node receives from each
+transmitter, notifies MACs of local carrier-sense busy/idle transitions,
+and decides whether each frame is successfully decoded at its intended
+receiver(s) when the transmission ends.
+
+Loss causes are recorded per frame and aggregated, because the paper's
+online estimator hinges on separating *collision* losses from *channel*
+losses:
+
+``half_duplex``  the receiver was transmitting during the frame,
+``rx_locked``    the receiver was already locked onto another frame,
+``weak``         received power below the modulation's sensitivity,
+``collision``    SINR below the capture threshold (overlap loss),
+``channel``      independent channel error (the residual loss process).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.phy.error_models import BerPacketErrorModel, ErrorModel
+from repro.phy.propagation import LogDistancePathLoss, PropagationModel, dbm_to_mw
+from repro.phy.radio import RadioConfig, frame_airtime
+from repro.phy.sinr import CaptureModel
+from repro.mac.frames import Frame, FrameKind
+from repro.engine import Simulator
+
+
+class MacListener(Protocol):
+    """What the medium expects from a registered MAC entity."""
+
+    def on_medium_busy(self) -> None: ...
+
+    def on_medium_idle(self) -> None: ...
+
+    def on_frame_received(self, frame: Frame, from_id: int) -> None: ...
+
+    def on_transmission_end(self, frame: Frame) -> None: ...
+
+
+@dataclass
+class _Reception:
+    """Tracks one intended receiver of an ongoing transmission."""
+
+    signal_dbm: float
+    cur_interference_mw: float = 0.0
+    peak_interference_mw: float = 0.0
+    failure: str | None = None
+
+    def add_interference(self, power_mw: float) -> None:
+        self.cur_interference_mw += power_mw
+        self.peak_interference_mw = max(self.peak_interference_mw, self.cur_interference_mw)
+
+    def remove_interference(self, power_mw: float) -> None:
+        self.cur_interference_mw = max(0.0, self.cur_interference_mw - power_mw)
+
+
+@dataclass
+class _Transmission:
+    """An ongoing transmission and the state of its intended receivers."""
+
+    tx_id: int
+    frame: Frame
+    start: float
+    end: float
+    receptions: dict[int, _Reception] = field(default_factory=dict)
+
+
+class WirelessMedium:
+    """Shared-channel model with carrier sensing, capture and channel errors.
+
+    Args:
+        sim: the discrete-event simulator driving virtual time.
+        positions: node id -> (x, y) coordinates in metres.
+        radio: common radio configuration (tx power, CS threshold, gains).
+        propagation: path-loss model.
+        error_model: residual channel error model applied to frames that
+            survive interference.
+        capture: SINR capture model.
+        link_error_override: optional map ``(tx, rx) -> packet error
+            probability for a 1500-byte frame``; when present it replaces
+            the SNR-derived error probability on that link, which lets
+            experiments prescribe exact channel loss rates.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        positions: dict[int, tuple[float, float]],
+        radio: RadioConfig | None = None,
+        propagation: PropagationModel | None = None,
+        error_model: ErrorModel | None = None,
+        capture: CaptureModel | None = None,
+        link_error_override: dict[tuple[int, int], float] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.positions = dict(positions)
+        self.radio = radio or RadioConfig()
+        self.propagation = propagation or LogDistancePathLoss()
+        self.error_model = error_model or BerPacketErrorModel()
+        self.capture = capture or CaptureModel()
+        self.link_error_override = dict(link_error_override or {})
+        self._macs: dict[int, MacListener] = {}
+        self._ongoing: dict[int, _Transmission] = {}
+        self._transmitting: set[int] = set()
+        self._sensed_mw: dict[int, float] = {node: 0.0 for node in positions}
+        self._busy_state: dict[int, bool] = {node: False for node in positions}
+        self._rx_power_cache: dict[tuple[int, int], float] = {}
+        self._rng = sim.rng_stream("medium")
+        self.loss_counts: Counter[str] = Counter()
+        self.delivered_frames = 0
+        self.frame_observers: list[Callable[[Frame, int, bool, str | None], None]] = []
+
+    # ------------------------------------------------------------ registration
+    def register_mac(self, node_id: int, mac: MacListener) -> None:
+        """Attach the MAC entity of ``node_id`` so it receives callbacks."""
+        if node_id not in self.positions:
+            raise KeyError(f"node {node_id} has no position in the medium")
+        self._macs[node_id] = mac
+
+    def add_frame_observer(
+        self, observer: Callable[[Frame, int, bool, str | None], None]
+    ) -> None:
+        """Register ``observer(frame, rx_id, success, failure_reason)``.
+
+        Observers see every delivery attempt at every intended receiver;
+        the measurement/trace layer uses this to count losses per link.
+        """
+        self.frame_observers.append(observer)
+
+    # ------------------------------------------------------------------ power
+    def distance(self, a: int, b: int) -> float:
+        xa, ya = self.positions[a]
+        xb, yb = self.positions[b]
+        return ((xa - xb) ** 2 + (ya - yb) ** 2) ** 0.5
+
+    def rx_power_dbm(self, tx: int, rx: int) -> float:
+        """Received power at ``rx`` of a transmission from ``tx``."""
+        key = (tx, rx)
+        if key not in self._rx_power_cache:
+            loss = self.propagation.path_loss_db(self.distance(tx, rx), key)
+            power = (
+                self.radio.tx_power_dbm
+                + 2.0 * self.radio.antenna_gain_dbi
+                - loss
+            )
+            self._rx_power_cache[key] = power
+        return self._rx_power_cache[key]
+
+    def rx_power_mw(self, tx: int, rx: int) -> float:
+        return dbm_to_mw(self.rx_power_dbm(tx, rx))
+
+    def in_range(self, tx: int, rx: int, sensitivity_dbm: float) -> bool:
+        """Whether ``rx`` can decode frames from ``tx`` absent interference."""
+        return self.rx_power_dbm(tx, rx) >= sensitivity_dbm
+
+    def can_sense(self, a: int, b: int) -> bool:
+        """Whether node ``a`` senses the channel busy while ``b`` transmits."""
+        return self.rx_power_dbm(b, a) >= self.radio.cs_threshold_dbm
+
+    # ----------------------------------------------------------- carrier sense
+    def is_busy(self, node_id: int) -> bool:
+        """Local carrier-sense state of ``node_id``."""
+        if node_id in self._transmitting:
+            return True
+        return self._sensed_mw[node_id] >= dbm_to_mw(self.radio.cs_threshold_dbm)
+
+    def _refresh_busy_states(self) -> None:
+        """Recompute busy flags and notify MACs whose state flipped."""
+        for node_id, mac in self._macs.items():
+            busy = self.is_busy(node_id)
+            if busy != self._busy_state[node_id]:
+                self._busy_state[node_id] = busy
+                if busy:
+                    mac.on_medium_busy()
+                else:
+                    mac.on_medium_idle()
+
+    # ------------------------------------------------------------ transmission
+    def _intended_receivers(self, tx_id: int, frame: Frame) -> list[int]:
+        if not frame.is_broadcast:
+            return [frame.dst] if frame.dst in self.positions else []
+        receivers = []
+        for node in self.positions:
+            if node == tx_id:
+                continue
+            if self.in_range(tx_id, node, frame.rate.rx_sensitivity_dbm):
+                receivers.append(node)
+        return receivers
+
+    def _receiver_is_locked(self, rx_id: int) -> bool:
+        """Whether ``rx_id`` is currently locked onto an ongoing frame."""
+        for tx in self._ongoing.values():
+            reception = tx.receptions.get(rx_id)
+            if reception is not None and reception.failure is None:
+                return True
+        return False
+
+    def begin_transmission(self, tx_id: int, frame: Frame) -> float:
+        """Start putting ``frame`` on the air from ``tx_id``.
+
+        Returns the frame airtime; the medium schedules its own end-of-
+        transmission processing and will call ``on_transmission_end`` on
+        the transmitter's MAC when the frame leaves the air.
+        """
+        if tx_id in self._transmitting:
+            raise RuntimeError(f"node {tx_id} is already transmitting")
+        duration = frame_airtime(frame.size_bytes, frame.rate)
+        now = self.sim.now
+        transmission = _Transmission(tx_id=tx_id, frame=frame, start=now, end=now + duration)
+
+        # The new transmission interferes with, and may destroy, receptions
+        # already in progress.
+        tx_power_cache: dict[int, float] = {}
+        for other in self._ongoing.values():
+            for rx_id, reception in other.receptions.items():
+                if rx_id == tx_id:
+                    # Half duplex: a node cannot keep receiving once it starts
+                    # transmitting.
+                    if reception.failure is None:
+                        reception.failure = "half_duplex"
+                    continue
+                power = tx_power_cache.get(rx_id)
+                if power is None:
+                    power = self.rx_power_mw(tx_id, rx_id)
+                    tx_power_cache[rx_id] = power
+                reception.add_interference(power)
+
+        # Build reception state for the new frame's intended receivers.
+        for rx_id in self._intended_receivers(tx_id, frame):
+            reception = _Reception(signal_dbm=self.rx_power_dbm(tx_id, rx_id))
+            if rx_id in self._transmitting:
+                reception.failure = "half_duplex"
+            elif self._receiver_is_locked(rx_id):
+                reception.failure = "rx_locked"
+            interference = 0.0
+            for other in self._ongoing.values():
+                interference += self.rx_power_mw(other.tx_id, rx_id)
+            reception.cur_interference_mw = interference
+            reception.peak_interference_mw = interference
+            transmission.receptions[rx_id] = reception
+
+        self._ongoing[tx_id] = transmission
+        self._transmitting.add(tx_id)
+        for node in self.positions:
+            if node != tx_id:
+                self._sensed_mw[node] += self.rx_power_mw(tx_id, node)
+        self._refresh_busy_states()
+        self.sim.schedule(duration, lambda: self._finish_transmission(tx_id))
+        return duration
+
+    def _finish_transmission(self, tx_id: int) -> None:
+        transmission = self._ongoing.pop(tx_id)
+        self._transmitting.discard(tx_id)
+        for node in self.positions:
+            if node != tx_id:
+                self._sensed_mw[node] = max(
+                    0.0, self._sensed_mw[node] - self.rx_power_mw(tx_id, node)
+                )
+        # Ongoing receptions no longer suffer this transmitter's interference.
+        for other in self._ongoing.values():
+            for rx_id, reception in other.receptions.items():
+                if rx_id != tx_id:
+                    reception.remove_interference(self.rx_power_mw(tx_id, rx_id))
+
+        self._refresh_busy_states()
+        self._deliver(transmission)
+        mac = self._macs.get(tx_id)
+        if mac is not None:
+            mac.on_transmission_end(transmission.frame)
+
+    # -------------------------------------------------------------- reception
+    def _channel_error_probability(self, tx_id: int, rx_id: int, frame: Frame) -> float:
+        override = self.link_error_override.get((tx_id, rx_id))
+        if override is not None:
+            # The override is specified for a nominal 1500-byte frame;
+            # rescale to the actual frame length assuming independent
+            # bit errors so short probes lose less often than long DATA.
+            reference_bits = 1500 * 8
+            if override >= 1.0:
+                return 1.0
+            ber = 1.0 - (1.0 - override) ** (1.0 / reference_bits)
+            return 1.0 - (1.0 - ber) ** (frame.size_bytes * 8)
+        snr = self.rx_power_dbm(tx_id, rx_id) - self.capture.noise_floor_dbm
+        return self.error_model.packet_error_probability(snr, frame.rate, frame.size_bytes)
+
+    def _deliver(self, transmission: _Transmission) -> None:
+        frame = transmission.frame
+        for rx_id, reception in transmission.receptions.items():
+            failure = reception.failure
+            if failure is None:
+                if reception.signal_dbm < frame.rate.rx_sensitivity_dbm:
+                    failure = "weak"
+                elif not self.capture.decodable(
+                    reception.signal_dbm, reception.peak_interference_mw, frame.rate
+                ):
+                    failure = "collision"
+                else:
+                    # Residual channel errors (independent of interference).
+                    per = self._channel_error_probability(transmission.tx_id, rx_id, frame)
+                    if per > 0.0 and self._rng.random() < per:
+                        failure = "channel"
+                    elif reception.peak_interference_mw > 0.0:
+                        # Partial capture: the frame clears the SINR
+                        # threshold but overlapping interference still
+                        # degrades the effective SINR, producing extra
+                        # bit errors.  This is what makes real-world LIR
+                        # values non-binary (Section 4.2 of the paper).
+                        effective_sinr = self.capture.sinr(
+                            reception.signal_dbm, reception.peak_interference_mw
+                        )
+                        p_int = self.error_model.packet_error_probability(
+                            effective_sinr, frame.rate, frame.size_bytes
+                        )
+                        if p_int > 0.0 and self._rng.random() < p_int:
+                            failure = "collision"
+            success = failure is None
+            for observer in self.frame_observers:
+                observer(frame, rx_id, success, failure)
+            if success:
+                self.delivered_frames += 1
+                mac = self._macs.get(rx_id)
+                if mac is not None:
+                    mac.on_frame_received(frame, transmission.tx_id)
+            else:
+                self.loss_counts[failure] += 1

@@ -1,0 +1,96 @@
+"""Nominal (theoretical maximum) 802.11 throughput.
+
+Implements the Theoretical Maximum Throughput of Jun, Peddabachagari and
+Sichitiu ("Theoretical Maximum Throughput of IEEE 802.11 and its
+Applications", NCA 2003), which the paper cites as reference [19] and
+uses as the ``Tnom`` term of its capacity representation (Eq. 6).
+
+For a single backlogged sender with no losses, the per-packet cycle is::
+
+    DIFS + average backoff + T_DATA + SIFS + T_ACK
+
+where ``T_DATA`` and ``T_ACK`` include the PLCP preamble/header, and the
+average backoff of an uncontended station is ``CWmin/2`` slots.  The
+nominal throughput is the payload size divided by this cycle time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.constants import (
+    ACK_FRAME_BYTES,
+    DEFAULT_MAC_CONFIG,
+    MacConfig,
+    UDP_TOTAL_HEADER_BYTES,
+)
+from repro.phy.radio import PhyRate, RATE_1MBPS, frame_airtime
+
+
+@dataclass(frozen=True)
+class NominalThroughputBreakdown:
+    """Per-packet time budget behind a nominal-throughput figure."""
+
+    difs_s: float
+    avg_backoff_s: float
+    data_airtime_s: float
+    sifs_s: float
+    ack_airtime_s: float
+
+    @property
+    def cycle_s(self) -> float:
+        """Total duration of one successful packet exchange."""
+        return (
+            self.difs_s
+            + self.avg_backoff_s
+            + self.data_airtime_s
+            + self.sifs_s
+            + self.ack_airtime_s
+        )
+
+
+def nominal_cycle_breakdown(
+    payload_bytes: int,
+    rate: PhyRate,
+    mac: MacConfig = DEFAULT_MAC_CONFIG,
+    header_bytes: int = UDP_TOTAL_HEADER_BYTES,
+    ack_rate: PhyRate = RATE_1MBPS,
+) -> NominalThroughputBreakdown:
+    """Break a single successful DATA/ACK exchange into its components.
+
+    Args:
+        payload_bytes: UDP payload carried by the frame.
+        rate: modulation of the DATA frame.
+        mac: MAC timing parameters.
+        header_bytes: MAC+IP+UDP header bytes added on top of the payload.
+        ack_rate: modulation of the 802.11 ACK (basic rate).
+    """
+    if payload_bytes <= 0:
+        raise ValueError("payload_bytes must be positive")
+    data_airtime = frame_airtime(payload_bytes + header_bytes, rate)
+    ack_airtime = frame_airtime(ACK_FRAME_BYTES, ack_rate)
+    avg_backoff = mac.slot_s * mac.cw_min / 2.0
+    return NominalThroughputBreakdown(
+        difs_s=mac.difs_s,
+        avg_backoff_s=avg_backoff,
+        data_airtime_s=data_airtime,
+        sifs_s=mac.sifs_s,
+        ack_airtime_s=ack_airtime,
+    )
+
+
+def nominal_throughput_bps(
+    payload_bytes: int,
+    rate: PhyRate,
+    mac: MacConfig = DEFAULT_MAC_CONFIG,
+    header_bytes: int = UDP_TOTAL_HEADER_BYTES,
+    ack_rate: PhyRate = RATE_1MBPS,
+) -> float:
+    """Nominal UDP payload throughput of a lossless, uncontended link.
+
+    Returns bits per second of UDP payload delivered by a single
+    backlogged transmitter with no channel errors, no collisions and no
+    competing traffic — the quantity the paper calls ``Tnom``.
+    """
+    breakdown = nominal_cycle_breakdown(payload_bytes, rate, mac, header_bytes, ack_rate)
+    return payload_bytes * 8 / breakdown.cycle_s

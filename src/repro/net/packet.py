@@ -1,0 +1,61 @@
+"""Network-layer packet representation.
+
+A :class:`Packet` is what flows and probes hand to a mesh node for
+delivery; nodes wrap packets into MAC frames hop by hop.  Packets keep
+their end-to-end addressing (network source/destination), a flow id used
+by sinks and shapers, and free-form ``meta`` used by TCP (sequence and
+acknowledgment numbers) and by the probing system.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(Enum):
+    """Traffic classes carried over the mesh."""
+
+    UDP = "udp"
+    TCP_DATA = "tcp_data"
+    TCP_ACK = "tcp_ack"
+    PROBE = "probe"
+    CONTROL = "control"
+
+
+@dataclass
+class Packet:
+    """An end-to-end network-layer packet.
+
+    Attributes:
+        kind: traffic class.
+        src: originating node id.
+        dst: final destination node id.
+        flow_id: identifier of the flow the packet belongs to (``-1`` for
+            control traffic and probes).
+        payload_bytes: transport payload size; headers are added per hop
+            by the node when building MAC frames.
+        created_at: virtual time at which the packet entered the network.
+        seq: per-flow sequence number.
+        meta: protocol-specific fields (TCP sequence numbers, probe ids).
+        hops: number of MAC hops traversed so far.
+    """
+
+    kind: PacketKind
+    src: int
+    dst: int
+    flow_id: int
+    payload_bytes: int
+    created_at: float
+    seq: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+    hops: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")

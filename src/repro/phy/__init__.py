@@ -1,0 +1,66 @@
+"""Physical-layer substrate for the 802.11 mesh simulator.
+
+This subpackage models everything below the MAC: transmit rates and
+preamble formats of 802.11b/g, radio propagation (log-distance path loss
+with deterministic per-link shadowing), thermal noise, SINR computation,
+the capture effect, and bit/packet error models.
+
+The PHY abstraction is intentionally compact: the MAC and the online
+optimization layers above only need per-link received powers, carrier
+sense decisions, SINR-based capture outcomes, and per-link residual
+channel error rates.  Those are exactly the quantities exposed here.
+"""
+
+from repro.phy.radio import (
+    PhyRate,
+    RATE_1MBPS,
+    RATE_2MBPS,
+    RATE_5_5MBPS,
+    RATE_11MBPS,
+    RATE_TABLE,
+    RadioConfig,
+    frame_airtime,
+)
+from repro.phy.propagation import (
+    PropagationModel,
+    LogDistancePathLoss,
+    FreeSpacePathLoss,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+from repro.phy.sinr import (
+    NOISE_FLOOR_DBM,
+    sinr_db,
+    snr_db,
+    CaptureModel,
+)
+from repro.phy.error_models import (
+    ErrorModel,
+    SnrThresholdErrorModel,
+    BerPacketErrorModel,
+    FixedPacketErrorModel,
+)
+
+__all__ = [
+    "PhyRate",
+    "RATE_1MBPS",
+    "RATE_2MBPS",
+    "RATE_5_5MBPS",
+    "RATE_11MBPS",
+    "RATE_TABLE",
+    "RadioConfig",
+    "frame_airtime",
+    "PropagationModel",
+    "LogDistancePathLoss",
+    "FreeSpacePathLoss",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "NOISE_FLOOR_DBM",
+    "sinr_db",
+    "snr_db",
+    "CaptureModel",
+    "ErrorModel",
+    "SnrThresholdErrorModel",
+    "BerPacketErrorModel",
+    "FixedPacketErrorModel",
+]

@@ -1,0 +1,78 @@
+"""SINR computation and the 802.11 capture model.
+
+Capture is central to the paper's findings: in Information Asymmetry and
+Near-Far topologies the two transmitters do not sense each other, their
+frames overlap at the receivers, and yet receivers often decode one (or
+both) frames because the wanted signal is strong enough relative to the
+interference.  That is what pushes the true feasibility region above the
+time-sharing line (Figure 5 of the paper).
+
+We model capture with a per-rate SINR threshold: a frame is decodable in
+the presence of overlapping transmissions iff its signal power exceeds
+noise-plus-peak-interference by the modulation's ``min_sinr_db``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.propagation import dbm_to_mw, mw_to_dbm
+from repro.phy.radio import PhyRate
+
+#: Thermal noise floor for a 22 MHz 802.11b/g channel plus a typical
+#: receiver noise figure (about -101 dBm + 7 dB NF).
+NOISE_FLOOR_DBM = -94.0
+
+
+def snr_db(signal_dbm: float, noise_dbm: float = NOISE_FLOOR_DBM) -> float:
+    """Signal-to-noise ratio in dB."""
+    return signal_dbm - noise_dbm
+
+
+def sinr_db(
+    signal_dbm: float,
+    interference_mw: float,
+    noise_dbm: float = NOISE_FLOOR_DBM,
+) -> float:
+    """Signal-to-interference-plus-noise ratio in dB.
+
+    Args:
+        signal_dbm: received power of the wanted frame.
+        interference_mw: total interference power in milliwatts (sum of
+            received powers of all overlapping transmissions).
+        noise_dbm: thermal noise floor.
+    """
+    denom_mw = dbm_to_mw(noise_dbm) + max(interference_mw, 0.0)
+    return signal_dbm - mw_to_dbm(denom_mw)
+
+
+@dataclass
+class CaptureModel:
+    """Decides frame decodability from signal, interference and rate.
+
+    Attributes:
+        noise_floor_dbm: thermal noise power.
+        sinr_margin_db: extra margin added to each rate's minimum SINR;
+            raising it makes capture harder (more collision losses),
+            lowering it makes overlapping transmissions survive more
+            often.
+    """
+
+    noise_floor_dbm: float = NOISE_FLOOR_DBM
+    sinr_margin_db: float = 0.0
+
+    def decodable(
+        self,
+        signal_dbm: float,
+        interference_mw: float,
+        rate: PhyRate,
+    ) -> bool:
+        """Whether a frame survives the worst overlapping interference."""
+        if signal_dbm < rate.rx_sensitivity_dbm:
+            return False
+        value = sinr_db(signal_dbm, interference_mw, self.noise_floor_dbm)
+        return value >= rate.min_sinr_db + self.sinr_margin_db
+
+    def sinr(self, signal_dbm: float, interference_mw: float) -> float:
+        """Convenience accessor for the SINR under this model's noise."""
+        return sinr_db(signal_dbm, interference_mw, self.noise_floor_dbm)

@@ -1,0 +1,63 @@
+"""Simulation substrate: event kernel, the MeshNetwork assembly object,
+topology factories (link pairs, chains, grids, the 18-node testbed),
+link-level tracing and the two-phase measurement drivers of Section 4."""
+
+from repro.engine import Event, Simulator
+from repro.sim.network import MeshNetwork, TcpFlowHandle, UdpFlowHandle
+from repro.sim.trace import LinkCounters, LinkTracer
+from repro.sim.topology import reduced_carrier_sense_radio  # noqa: F401
+from repro.sim.topology import (
+    LinkPairTopology,
+    carrier_sense_pair,
+    chain_topology,
+    classify_pair,
+    default_radio,
+    grid_topology,
+    independent_pair,
+    information_asymmetry_pair,
+    near_far_pair,
+    no_shadowing_propagation,
+    random_link_pair,
+    testbed_positions,
+    testbed_propagation,
+)
+from repro.sim.measurement import (
+    FeasibilityTestResult,
+    FlowMeasurement,
+    PairMeasurement,
+    apply_input_rates,
+    measure_flows,
+    measure_isolated,
+    measure_pair,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "MeshNetwork",
+    "TcpFlowHandle",
+    "UdpFlowHandle",
+    "LinkCounters",
+    "LinkTracer",
+    "LinkPairTopology",
+    "carrier_sense_pair",
+    "chain_topology",
+    "classify_pair",
+    "default_radio",
+    "grid_topology",
+    "independent_pair",
+    "information_asymmetry_pair",
+    "near_far_pair",
+    "no_shadowing_propagation",
+    "random_link_pair",
+    "reduced_carrier_sense_radio",
+    "testbed_positions",
+    "testbed_propagation",
+    "FeasibilityTestResult",
+    "FlowMeasurement",
+    "PairMeasurement",
+    "apply_input_rates",
+    "measure_flows",
+    "measure_isolated",
+    "measure_pair",
+]

@@ -1,0 +1,274 @@
+"""Canned experiment scenarios used by the validation and the benchmarks.
+
+These helpers assemble the multi-hop, multi-flow configurations of the
+paper's evaluation on top of the synthetic 18-node testbed:
+
+* ETT-routed random multi-flow configurations (Sections 4.5, 5.5, 6.3),
+  with up to six flows and at most four hops per route, at 1 Mb/s,
+  11 Mb/s or a mix;
+* the two-flow upstream TCP starvation scenario of Figure 13, built on a
+  gateway chain whose endpoints are hidden from each other (reduced
+  carrier-sense sensitivity), which is what makes TCP ACKs collide with
+  data and starve the two-hop flow.
+
+Route selection uses ETT weights computed from ground-truth link quality
+(the medium's SNR-derived error rates).  The *online* machinery never
+sees that ground truth — it still estimates capacities from probes — but
+scenario construction does not need to burn simulated time discovering
+routes the real Srcr protocol would find anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.mac.constants import MAC_OVERHEAD_BYTES
+from repro.net.routing import FlowRoute, Router, ett
+from repro.phy.radio import RATE_1MBPS, RATE_11MBPS, RadioConfig, rate_from_mbps
+from repro.sim.network import MeshNetwork, TcpFlowHandle, UdpFlowHandle
+from repro.sim.topology import chain_topology, testbed_positions, testbed_propagation
+
+Link = tuple[int, int]
+RateMode = Literal["1", "11", "mixed"]
+
+
+def build_testbed_network(
+    seed: int = 0,
+    data_rate_mbps: float = 11,
+    shadowing_sigma_db: float = 6.0,
+    radio: RadioConfig | None = None,
+    run_seed: int | None = None,
+) -> MeshNetwork:
+    """The synthetic 18-node testbed as a ready-to-use MeshNetwork.
+
+    ``seed`` fixes the topology (positions and shadowing); ``run_seed``
+    (defaulting to ``seed``) seeds the traffic/backoff randomness, so the
+    same physical testbed can be exercised by several independent runs —
+    which is how the stability metric of Figure 14(d) is measured.
+    """
+    return MeshNetwork(
+        testbed_positions(seed=seed),
+        seed=seed if run_seed is None else run_seed,
+        radio=radio,
+        propagation=testbed_propagation(seed=seed, shadowing_sigma_db=shadowing_sigma_db),
+        data_rate_mbps=data_rate_mbps,
+    )
+
+
+def ground_truth_link_error(
+    network: MeshNetwork, link: Link, frame_bytes: int = 1500
+) -> float:
+    """Channel (non-collision) error probability of a directed link.
+
+    Computed from the medium's error model at the link's SNR — the same
+    quantity the link would exhibit with no interfering traffic.
+    """
+    medium = network.medium
+    override = medium.link_error_override.get(link)
+    if override is not None:
+        return min(1.0, override)
+    rate = network.link_rate(link)
+    snr = medium.rx_power_dbm(*link) - medium.capture.noise_floor_dbm
+    if medium.rx_power_dbm(*link) < rate.rx_sensitivity_dbm:
+        return 1.0
+    return medium.error_model.packet_error_probability(snr, rate, frame_bytes)
+
+
+def ett_link_weights(
+    network: MeshNetwork,
+    packet_bytes: int = 1500,
+    max_loss: float = 0.8,
+    min_snr_margin_db: float = 14.0,
+) -> dict[Link, float]:
+    """ETT weight of every usable directed link in the network.
+
+    Links whose SNR sits less than ``min_snr_margin_db`` above their
+    modulation's requirement are excluded: they may look loss-free in
+    isolation but any co-channel interference destroys them, so neither a
+    real routing metric (whose ETX is measured during operation) nor a
+    careful operator would route over them.
+    """
+    weights: dict[Link, float] = {}
+    medium = network.medium
+    for tx in network.node_ids:
+        for rx in network.node_ids:
+            if tx == rx:
+                continue
+            link = (tx, rx)
+            rate = network.link_rate(link)
+            snr = medium.rx_power_dbm(tx, rx) - medium.capture.noise_floor_dbm
+            if snr < rate.min_sinr_db + min_snr_margin_db:
+                continue
+            p_fwd = ground_truth_link_error(network, link, packet_bytes)
+            p_rev = ground_truth_link_error(network, (rx, tx), 60)
+            if p_fwd > max_loss:
+                continue
+            weights[link] = ett(p_fwd, p_rev, packet_bytes, network.link_rate(link))
+    return weights
+
+
+def assign_link_rates(
+    network: MeshNetwork, rate_mode: RateMode, rng: np.random.Generator
+) -> None:
+    """Fix per-link modulations: all 1 Mb/s, all 11 Mb/s or a mix.
+
+    In mixed mode strong links run at 11 Mb/s and marginal links drop to
+    1 Mb/s, which is what a rate-adaptation-disabled operator would
+    configure by hand (and mirrors the paper's (1, 11) configurations).
+    """
+    for tx in network.node_ids:
+        for rx in network.node_ids:
+            if tx == rx:
+                continue
+            if rate_mode == "1":
+                network.set_link_rate((tx, rx), RATE_1MBPS)
+            elif rate_mode == "11":
+                network.set_link_rate((tx, rx), RATE_11MBPS)
+            else:
+                snr = network.medium.rx_power_dbm(tx, rx) - network.medium.capture.noise_floor_dbm
+                threshold = 24.0 + float(rng.uniform(-2.0, 2.0))
+                rate = RATE_11MBPS if snr >= threshold else RATE_1MBPS
+                network.set_link_rate((tx, rx), rate)
+
+
+@dataclass
+class MultiFlowScenario:
+    """A routed multi-flow configuration on the testbed."""
+
+    name: str
+    network: MeshNetwork
+    flows: list[UdpFlowHandle] | list[TcpFlowHandle]
+    routes: list[FlowRoute]
+    rate_mode: RateMode
+
+    @property
+    def links(self) -> list[Link]:
+        ordered: list[Link] = []
+        seen: set[Link] = set()
+        for flow in self.flows:
+            for link in flow.links:
+                if link not in seen:
+                    seen.add(link)
+                    ordered.append(link)
+        return ordered
+
+
+def _pick_demands(
+    router: Router,
+    node_ids: list[int],
+    num_flows: int,
+    max_hops: int,
+    rng: np.random.Generator,
+    max_tries: int = 400,
+) -> list[tuple[int, int]]:
+    demands: list[tuple[int, int]] = []
+    tries = 0
+    while len(demands) < num_flows and tries < max_tries:
+        tries += 1
+        src, dst = (int(x) for x in rng.choice(node_ids, size=2, replace=False))
+        if (src, dst) in demands:
+            continue
+        path = router.shortest_path(src, dst)
+        if path is None:
+            continue
+        hops = len(path) - 1
+        if 1 <= hops <= max_hops:
+            demands.append((src, dst))
+    if len(demands) < num_flows:
+        raise RuntimeError(
+            f"could only find {len(demands)} routable demands (wanted {num_flows})"
+        )
+    return demands
+
+
+def random_multiflow_scenario(
+    seed: int,
+    num_flows: int = 4,
+    max_hops: int = 4,
+    rate_mode: RateMode = "mixed",
+    transport: Literal["udp", "tcp"] = "udp",
+    name: str | None = None,
+    run_seed: int | None = None,
+) -> MultiFlowScenario:
+    """A random ETT-routed multi-flow configuration on the testbed.
+
+    Mirrors the configurations of Sections 4.5 and 6.3: a handful of
+    simultaneous, mutually interfering multi-hop flows with routes of at
+    most ``max_hops`` hops, over links fixed at 1 / 11 Mb/s.  ``run_seed``
+    re-seeds only the traffic randomness, keeping topology and routes
+    identical across repeated runs of the same configuration.
+    """
+    rng = np.random.default_rng(seed)
+    network = build_testbed_network(seed=seed, run_seed=run_seed)
+    assign_link_rates(network, rate_mode, rng)
+    weights = ett_link_weights(network)
+    router = Router(network.node_ids, weights)
+    demands = _pick_demands(router, network.node_ids, num_flows, max_hops, rng)
+    routes = router.route_flows(demands)
+    flows: list[UdpFlowHandle] | list[TcpFlowHandle] = []
+    for route in routes:
+        if transport == "udp":
+            flows.append(network.add_udp_flow(route.path, rate_bps=0.0))
+        else:
+            flows.append(network.add_tcp_flow(route.path))
+    return MultiFlowScenario(
+        name=name or f"scenario-{seed}-{rate_mode}-{transport}",
+        network=network,
+        flows=flows,
+        routes=routes,
+        rate_mode=rate_mode,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: upstream TCP starvation at a gateway
+# ---------------------------------------------------------------------------
+def hidden_terminal_radio(data_rate_mbps: float = 1) -> RadioConfig:
+    """Radio configuration with reduced carrier-sense sensitivity.
+
+    With the default -91 dBm CS threshold every node of a short chain
+    senses every other, which masks the hidden-terminal collisions that
+    cause TCP starvation.  Raising the threshold (a knob real drivers
+    expose) shrinks the carrier-sense range below two hops and recreates
+    the data/ACK collision pattern of Shi et al. that Figure 13 studies.
+    """
+    return RadioConfig(cs_threshold_dbm=-74.0, data_rate=rate_from_mbps(data_rate_mbps))
+
+
+@dataclass
+class StarvationScenario:
+    """The two-flow upstream TCP scenario of Figure 13."""
+
+    network: MeshNetwork
+    two_hop: TcpFlowHandle
+    one_hop: TcpFlowHandle
+
+    @property
+    def flows(self) -> list[TcpFlowHandle]:
+        return [self.two_hop, self.one_hop]
+
+
+def starvation_scenario(seed: int = 0, data_rate_mbps: float = 1) -> StarvationScenario:
+    """One 2-hop and one 1-hop TCP flow sending upstream to a gateway.
+
+    Node 2 is the gateway; node 0 reaches it via relay node 1.  The radio
+    uses :func:`hidden_terminal_radio`, so node 0 and the gateway do not
+    sense each other and the 2-hop flow's ACKs collide with the 1-hop
+    flow's data at the relay.
+    """
+    from repro.sim.topology import no_shadowing_propagation
+
+    positions = chain_topology(3, spacing_m=62.0)
+    network = MeshNetwork(
+        positions,
+        seed=seed,
+        radio=hidden_terminal_radio(data_rate_mbps),
+        propagation=no_shadowing_propagation(),
+        data_rate_mbps=data_rate_mbps,
+    )
+    two_hop = network.add_tcp_flow([0, 1, 2])
+    one_hop = network.add_tcp_flow([1, 2])
+    return StarvationScenario(network=network, two_hop=two_hop, one_hop=one_hop)

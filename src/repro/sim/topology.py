@@ -1,0 +1,238 @@
+"""Topology factories: interfering link pairs, chains, grids and the
+18-node synthetic testbed.
+
+The paper classifies interfering link pairs into three classes (Garetto
+et al.):
+
+* **CS** (Carrier Sense) — the two transmitters sense each other and
+  time-share the channel;
+* **IA** (Information Asymmetry) — the transmitters cannot sense each
+  other but one receiver hears the other link's transmitter (classic
+  hidden terminal with asymmetric outcomes, capture dependent);
+* **NF** (Near-Far) — the transmitters cannot sense each other and each
+  receiver hears the other link's transmitter.
+
+The factory functions below place four nodes so that the default
+propagation model (log-distance, exponent 3.3, no shadowing) lands the
+pair in the requested class; :func:`classify_pair` verifies the class
+from the medium's actual carrier-sense relations, which is what the test
+suite asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mac.medium import WirelessMedium
+from repro.phy.propagation import LogDistancePathLoss
+from repro.phy.radio import RadioConfig
+
+
+Link = tuple[int, int]
+Positions = dict[int, tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class LinkPairTopology:
+    """A two-link topology: node positions plus the two directed links.
+
+    Nodes are always numbered 0..3 with link 1 = (0, 1) and link 2 = (2, 3).
+    """
+
+    positions: Positions
+    link1: Link = (0, 1)
+    link2: Link = (2, 3)
+    label: str = ""
+
+    @property
+    def links(self) -> list[Link]:
+        return [self.link1, self.link2]
+
+
+def no_shadowing_propagation() -> LogDistancePathLoss:
+    """The deterministic propagation model used for controlled pair topologies."""
+    return LogDistancePathLoss(shadowing_sigma_db=0.0)
+
+
+# --------------------------------------------------------------------------
+# Link-pair factories
+# --------------------------------------------------------------------------
+def carrier_sense_pair(
+    link_len_m: float = 40.0, tx_gap_m: float = 100.0
+) -> LinkPairTopology:
+    """Two links whose transmitters are within carrier-sense range."""
+    positions = {
+        0: (0.0, 0.0),
+        1: (link_len_m, 0.0),
+        2: (tx_gap_m, 0.0),
+        3: (tx_gap_m + link_len_m, 0.0),
+    }
+    return LinkPairTopology(positions=positions, label="CS")
+
+
+def information_asymmetry_pair(
+    link1_len_m: float = 60.0,
+    link2_len_m: float = 50.0,
+    tx_gap_m: float = 280.0,
+) -> LinkPairTopology:
+    """Hidden-terminal pair where only receiver 1 hears transmitter 2.
+
+    Transmitter 0 and transmitter 2 are out of carrier-sense range; node 1
+    (receiver of link 1) sits between them close enough to hear node 2,
+    while receiver 3 is beyond the interference range of node 0.
+    """
+    positions = {
+        0: (0.0, 0.0),
+        1: (link1_len_m, 0.0),
+        2: (tx_gap_m, 0.0),
+        3: (tx_gap_m + link2_len_m, 0.0),
+    }
+    return LinkPairTopology(positions=positions, label="IA")
+
+
+def near_far_pair(
+    link_len_m: float = 70.0, tx_gap_m: float = 290.0
+) -> LinkPairTopology:
+    """Near-far pair: both receivers hear the opposite transmitter.
+
+    The two receivers sit between the two transmitters, each closer to its
+    own transmitter but still within interference range of the other one.
+    """
+    positions = {
+        0: (0.0, 0.0),
+        1: (link_len_m, 0.0),
+        2: (tx_gap_m, 0.0),
+        3: (tx_gap_m - link_len_m, 0.0),
+    }
+    return LinkPairTopology(positions=positions, label="NF")
+
+
+def reduced_carrier_sense_radio(data_rate_mbps: float = 11, cs_threshold_dbm: float = -85.0) -> RadioConfig:
+    """Radio configuration with a shorter carrier-sense range.
+
+    Real 802.11 cards expose (and differ in) their carrier-sense/defer
+    threshold; a less sensitive setting shrinks the carrier-sense range
+    relative to the interference range, which is what produces the
+    hidden-terminal (IA/NF) pathologies studied in Section 4.3.  Pair
+    experiments that need pronounced IA starvation or partial capture use
+    this radio together with tighter pair geometries.
+    """
+    from repro.phy.radio import rate_from_mbps
+
+    return RadioConfig(cs_threshold_dbm=cs_threshold_dbm, data_rate=rate_from_mbps(data_rate_mbps))
+
+
+def independent_pair(separation_m: float = 900.0, link_len_m: float = 40.0) -> LinkPairTopology:
+    """Two links far enough apart not to interfere at all."""
+    positions = {
+        0: (0.0, 0.0),
+        1: (link_len_m, 0.0),
+        2: (separation_m, 0.0),
+        3: (separation_m + link_len_m, 0.0),
+    }
+    return LinkPairTopology(positions=positions, label="IND")
+
+
+def random_link_pair(
+    rng: np.random.Generator,
+    area_m: float = 500.0,
+    min_link_m: float = 20.0,
+    max_link_m: float = 90.0,
+) -> LinkPairTopology:
+    """A random two-link topology used to build LIR distributions (Fig. 3).
+
+    Each link's transmitter is placed uniformly in the square and its
+    receiver at a uniform distance/bearing, so the pair may fall in any of
+    the CS / IA / NF / independent classes.
+    """
+    positions: Positions = {}
+    for index, tx_node in enumerate((0, 2)):
+        tx = rng.uniform(0.0, area_m, size=2)
+        angle = rng.uniform(0.0, 2 * np.pi)
+        length = rng.uniform(min_link_m, max_link_m)
+        rx = tx + length * np.array([np.cos(angle), np.sin(angle)])
+        positions[tx_node] = (float(tx[0]), float(tx[1]))
+        positions[tx_node + 1] = (float(rx[0]), float(rx[1]))
+    return LinkPairTopology(positions=positions, label="RANDOM")
+
+
+def classify_pair(medium: WirelessMedium, link1: Link, link2: Link) -> str:
+    """Classify a link pair as CS, IA, NF or IND from carrier-sense relations."""
+    t1, r1 = link1
+    t2, r2 = link2
+    if medium.can_sense(t1, t2) or medium.can_sense(t2, t1):
+        return "CS"
+    r1_hears = medium.can_sense(r1, t2)
+    r2_hears = medium.can_sense(r2, t1)
+    if r1_hears and r2_hears:
+        return "NF"
+    if r1_hears or r2_hears:
+        return "IA"
+    return "IND"
+
+
+# --------------------------------------------------------------------------
+# Multi-hop topologies
+# --------------------------------------------------------------------------
+def chain_topology(num_nodes: int, spacing_m: float = 55.0) -> Positions:
+    """A linear chain of ``num_nodes`` nodes (classic multi-hop scenario)."""
+    if num_nodes < 2:
+        raise ValueError("a chain needs at least two nodes")
+    return {i: (i * spacing_m, 0.0) for i in range(num_nodes)}
+
+
+def grid_topology(rows: int, cols: int, spacing_m: float = 60.0) -> Positions:
+    """A rows-by-cols grid of nodes."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    positions: Positions = {}
+    for r in range(rows):
+        for c in range(cols):
+            positions[r * cols + c] = (c * spacing_m, r * spacing_m)
+    return positions
+
+
+#: Hand-placed layout mimicking the paper's 18-node testbed: three office
+#: building clusters plus a parking-lot strip.  Nodes within a cluster are
+#: a few tens of metres apart (strong, indoor-like links); clusters are
+#: 100-250 m apart, so inter-building links are marginal or absent and
+#: traffic between clusters must take multi-hop routes through the
+#: parking-lot relays.
+_TESTBED_CLUSTERS: dict[str, tuple[tuple[float, float], list[tuple[float, float]]]] = {
+    "building_a": ((60.0, 60.0), [(-25.0, -20.0), (5.0, -30.0), (-30.0, 15.0), (20.0, 10.0), (0.0, 35.0), (30.0, -5.0)]),
+    "building_b": ((330.0, 80.0), [(-30.0, -15.0), (0.0, -30.0), (25.0, 5.0), (-15.0, 25.0), (35.0, 30.0), (5.0, 45.0)]),
+    "building_c": ((210.0, 300.0), [(-25.0, -10.0), (10.0, -25.0), (25.0, 15.0), (-10.0, 25.0)]),
+    "parking_lot": ((175.0, 150.0), [(-40.0, -30.0), (40.0, 25.0)]),
+}
+
+_TESTBED_BASE_POSITIONS: Positions = {}
+_node_counter = 0
+for _cluster, (_center, _offsets) in _TESTBED_CLUSTERS.items():
+    for _dx, _dy in _offsets:
+        _TESTBED_BASE_POSITIONS[_node_counter] = (_center[0] + _dx, _center[1] + _dy)
+        _node_counter += 1
+del _cluster, _center, _offsets, _dx, _dy, _node_counter
+
+
+def testbed_positions(seed: int = 0, jitter_m: float = 6.0) -> Positions:
+    """The 18-node synthetic testbed layout with a small seeded jitter."""
+    rng = np.random.default_rng(seed)
+    positions: Positions = {}
+    for node, (x, y) in _TESTBED_BASE_POSITIONS.items():
+        dx, dy = rng.uniform(-jitter_m, jitter_m, size=2)
+        positions[node] = (x + dx, y + dy)
+    return positions
+
+
+def testbed_propagation(seed: int = 0, shadowing_sigma_db: float = 6.0) -> LogDistancePathLoss:
+    """Propagation model for the testbed: shadowing on, for link diversity."""
+    return LogDistancePathLoss(shadowing_sigma_db=shadowing_sigma_db, seed=seed)
+
+
+def default_radio(data_rate_mbps: float = 11) -> RadioConfig:
+    """Radio configuration matching the paper's testbed settings."""
+    from repro.phy.radio import rate_from_mbps
+
+    return RadioConfig(tx_power_dbm=19.0, data_rate=rate_from_mbps(data_rate_mbps))

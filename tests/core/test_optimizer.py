@@ -1,0 +1,142 @@
+"""Tests for the utility-maximising rate optimizer (Section 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conflict_graph import ConflictGraph
+from repro.core.extreme_points import FeasibilityRegion
+from repro.core.interference import PairwiseInterferenceMap
+from repro.core.optimizer import RateOptimizer
+from repro.core.utility import MAX_THROUGHPUT, PROPORTIONAL_FAIR, AlphaFairUtility
+from repro.net.routing import FlowRoute, build_routing_matrix
+
+
+def _region(links, capacities, conflicts):
+    imap = PairwiseInterferenceMap(links)
+    for a, b in conflicts:
+        imap.add_conflict(a, b)
+    graph = ConflictGraph.from_interference_map(imap)
+    return FeasibilityRegion.from_capacities_and_conflicts(capacities, graph)
+
+
+def _two_single_hop_flows(c1=1e6, c2=1e6, interfering=True):
+    links = [(0, 1), (2, 3)]
+    region = _region(
+        links,
+        {links[0]: c1, links[1]: c2},
+        [(links[0], links[1])] if interfering else [],
+    )
+    flows = [FlowRoute(0, 0, 1, [0, 1]), FlowRoute(1, 2, 3, [2, 3])]
+    routing = build_routing_matrix(flows, links=region.links)
+    return region, routing
+
+
+class TestLinearObjectives:
+    def test_max_throughput_uses_full_capacity(self):
+        region, routing = _two_single_hop_flows(interfering=True)
+        result = RateOptimizer(region, routing, MAX_THROUGHPUT).solve()
+        assert result.success
+        assert result.aggregate_rate == pytest.approx(1e6, rel=1e-6)
+
+    def test_max_throughput_independent_links(self):
+        region, routing = _two_single_hop_flows(interfering=False)
+        result = RateOptimizer(region, routing, MAX_THROUGHPUT).solve()
+        assert result.aggregate_rate == pytest.approx(2e6, rel=1e-6)
+
+    def test_max_throughput_prefers_high_capacity_link(self):
+        region, routing = _two_single_hop_flows(c1=2e6, c2=1e6, interfering=True)
+        result = RateOptimizer(region, routing, MAX_THROUGHPUT).solve()
+        assert result.flow_rates[0] == pytest.approx(2e6, rel=1e-4)
+        assert result.flow_rates[1] == pytest.approx(0.0, abs=2.0)
+
+    def test_max_min_equalises_rates(self):
+        region, routing = _two_single_hop_flows(c1=2e6, c2=1e6, interfering=True)
+        result = RateOptimizer(region, routing, MAX_THROUGHPUT).solve_max_min()
+        assert result.flow_rates[0] == pytest.approx(result.flow_rates[1], rel=1e-5)
+        assert result.flow_rates[0] > 0.5e6
+
+    def test_link_rates_consistent_with_routing(self):
+        region, routing = _two_single_hop_flows()
+        result = RateOptimizer(region, routing, MAX_THROUGHPUT).solve()
+        np.testing.assert_allclose(result.link_rates, routing.matrix @ result.flow_rates)
+
+
+class TestProportionalFairness:
+    def test_equal_split_for_symmetric_flows(self):
+        region, routing = _two_single_hop_flows(interfering=True)
+        result = RateOptimizer(region, routing, PROPORTIONAL_FAIR).solve()
+        assert result.success
+        assert result.flow_rates[0] == pytest.approx(0.5e6, rel=0.01)
+        assert result.flow_rates[1] == pytest.approx(0.5e6, rel=0.01)
+
+    def test_proportional_fair_on_chain(self):
+        """The classic chain result: the 2-link flow gets half of what the
+        1-link flow gets under proportional fairness."""
+        links = [(0, 1), (1, 2)]
+        region = _region(
+            links, {links[0]: 1e6, links[1]: 1e6}, [(links[0], links[1])]
+        )
+        flows = [FlowRoute(0, 0, 2, [0, 1, 2]), FlowRoute(1, 1, 2, [1, 2])]
+        routing = build_routing_matrix(flows, links=region.links)
+        result = RateOptimizer(region, routing, PROPORTIONAL_FAIR).solve()
+        # y_long = C/4, y_short = C/2 (2*y_long + y_short = C).
+        assert result.flow_rates[0] == pytest.approx(0.25e6, rel=0.05)
+        assert result.flow_rates[1] == pytest.approx(0.5e6, rel=0.05)
+
+    def test_no_flow_starves_under_proportional_fairness(self):
+        region, routing = _two_single_hop_flows(c1=5e6, c2=0.5e6, interfering=True)
+        result = RateOptimizer(region, routing, PROPORTIONAL_FAIR).solve()
+        assert result.flow_rates.min() > 0.05e6
+
+    def test_rates_stay_feasible(self):
+        region, routing = _two_single_hop_flows(c1=3e6, c2=1e6, interfering=True)
+        result = RateOptimizer(region, routing, PROPORTIONAL_FAIR).solve()
+        assert region.contains(result.link_rates * 0.99)
+
+    def test_higher_alpha_is_more_fair(self):
+        links = [(0, 1), (1, 2)]
+        region = _region(links, {links[0]: 1e6, links[1]: 1e6}, [(links[0], links[1])])
+        flows = [FlowRoute(0, 0, 2, [0, 1, 2]), FlowRoute(1, 1, 2, [1, 2])]
+        routing = build_routing_matrix(flows, links=region.links)
+        ratios = []
+        for alpha in (1.0, 2.0, 4.0):
+            result = RateOptimizer(region, routing, AlphaFairUtility(alpha=alpha)).solve()
+            ratios.append(result.flow_rates[0] / result.flow_rates[1])
+        assert ratios[0] < ratios[1] < ratios[2] <= 1.05
+
+    def test_alpha_weights_sum_to_one(self):
+        region, routing = _two_single_hop_flows()
+        result = RateOptimizer(region, routing, PROPORTIONAL_FAIR).solve()
+        assert result.alpha.sum() == pytest.approx(1.0, abs=1e-4)
+
+
+class TestValidation:
+    def test_mismatched_links_rejected(self):
+        region, _ = _two_single_hop_flows()
+        flows = [FlowRoute(0, 0, 1, [0, 1])]
+        routing = build_routing_matrix(flows)  # only one link
+        with pytest.raises(ValueError):
+            RateOptimizer(region, routing, MAX_THROUGHPUT)
+
+    def test_zero_capacity_region_rejected(self):
+        links = [(0, 1)]
+        region = _region(links, {links[0]: 0.0}, [])
+        flows = [FlowRoute(0, 0, 1, [0, 1])]
+        routing = build_routing_matrix(flows, links=region.links)
+        with pytest.raises(ValueError):
+            RateOptimizer(region, routing, MAX_THROUGHPUT)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=0.2e6, max_value=8e6),
+        st.floats(min_value=0.2e6, max_value=8e6),
+        st.booleans(),
+    )
+    def test_solutions_always_feasible_property(self, c1, c2, interfering):
+        region, routing = _two_single_hop_flows(c1=c1, c2=c2, interfering=interfering)
+        for utility in (MAX_THROUGHPUT, PROPORTIONAL_FAIR):
+            result = RateOptimizer(region, routing, utility).solve()
+            assert result.success
+            assert np.all(result.flow_rates >= -1e-6)
+            assert region.contains(result.link_rates * 0.995)

@@ -1,0 +1,67 @@
+"""Tests for MAC constants and the nominal-throughput calculator."""
+
+import pytest
+
+from repro.mac.constants import DEFAULT_MAC_CONFIG, MacConfig
+from repro.mac.nominal import nominal_cycle_breakdown, nominal_throughput_bps
+from repro.phy.radio import RATE_1MBPS, RATE_11MBPS
+
+
+class TestMacConfig:
+    def test_defaults_match_802_11bg(self):
+        config = DEFAULT_MAC_CONFIG
+        assert config.slot_s == pytest.approx(20e-6)
+        assert config.sifs_s == pytest.approx(10e-6)
+        assert config.difs_s == pytest.approx(50e-6)
+        assert config.cw_min == 31
+        assert config.cw_max == 1023
+
+    def test_w0_and_wmax(self):
+        assert DEFAULT_MAC_CONFIG.w0 == 32
+        assert DEFAULT_MAC_CONFIG.wmax == 1024
+
+    def test_max_backoff_stage(self):
+        # 31 -> 63 -> 127 -> 255 -> 511 -> 1023: five doublings.
+        assert DEFAULT_MAC_CONFIG.max_backoff_stage == 5
+
+    def test_custom_config_stage(self):
+        config = MacConfig(cw_min=15, cw_max=255)
+        assert config.max_backoff_stage == 4
+
+
+class TestNominalThroughput:
+    def test_cycle_components_positive(self):
+        breakdown = nominal_cycle_breakdown(1470, RATE_11MBPS)
+        assert breakdown.difs_s > 0
+        assert breakdown.avg_backoff_s > 0
+        assert breakdown.data_airtime_s > 0
+        assert breakdown.ack_airtime_s > 0
+        assert breakdown.cycle_s == pytest.approx(
+            breakdown.difs_s
+            + breakdown.avg_backoff_s
+            + breakdown.data_airtime_s
+            + breakdown.sifs_s
+            + breakdown.ack_airtime_s
+        )
+
+    def test_11mbps_1470_bytes_near_6mbps(self):
+        """The well-known TMT of 802.11b at 11 Mb/s with 1470-byte UDP is ~6 Mb/s."""
+        throughput = nominal_throughput_bps(1470, RATE_11MBPS)
+        assert 5.0e6 < throughput < 6.5e6
+
+    def test_1mbps_1470_bytes_near_0_9mbps(self):
+        throughput = nominal_throughput_bps(1470, RATE_1MBPS)
+        assert 0.8e6 < throughput < 0.95e6
+
+    def test_nominal_below_phy_rate(self):
+        assert nominal_throughput_bps(1470, RATE_11MBPS) < RATE_11MBPS.bps
+        assert nominal_throughput_bps(1470, RATE_1MBPS) < RATE_1MBPS.bps
+
+    def test_larger_payload_more_efficient(self):
+        small = nominal_throughput_bps(200, RATE_11MBPS)
+        large = nominal_throughput_bps(1470, RATE_11MBPS)
+        assert large > small
+
+    def test_invalid_payload_rejected(self):
+        with pytest.raises(ValueError):
+            nominal_throughput_bps(0, RATE_11MBPS)

@@ -1,0 +1,158 @@
+"""Tests for mesh-node forwarding, the probing system and Ad Hoc Probe."""
+
+import pytest
+
+from repro.mac.nominal import nominal_throughput_bps
+from repro.net.adhoc_probe import AdHocProbe
+from repro.net.packet import Packet, PacketKind
+from repro.phy.radio import RATE_11MBPS
+from repro.sim import MeshNetwork, chain_topology, no_shadowing_propagation
+from repro.sim.measurement import measure_isolated
+
+
+def _packet(src, dst, flow_id=0, size=1000, kind=PacketKind.UDP):
+    return Packet(kind=kind, src=src, dst=dst, flow_id=flow_id, payload_bytes=size, created_at=0.0)
+
+
+class TestNodeForwarding:
+    def test_local_delivery_without_radio(self, chain_network):
+        node = chain_network.node(0)
+        delivered = []
+        node.add_delivery_handler(lambda packet, prev: delivered.append(packet))
+        assert node.send_packet(_packet(0, 0))
+        assert len(delivered) == 1
+
+    def test_no_route_drop(self, chain_network):
+        node = chain_network.node(0)
+        assert not node.send_packet(_packet(0, 2))
+        assert node.stats.no_route_drops == 1
+
+    def test_multi_hop_forwarding(self, chain_network):
+        chain_network.install_path([0, 1, 2])
+        delivered = []
+        chain_network.node(2).add_delivery_handler(lambda p, prev: delivered.append(p))
+        chain_network.node(0).send_packet(_packet(0, 2))
+        chain_network.run(0.2)
+        assert len(delivered) == 1
+        assert delivered[0].hops == 2
+        assert chain_network.node(1).stats.forwarded == 1
+
+    def test_reverse_route_installed_for_bidirectional_paths(self, chain_network):
+        chain_network.install_path([0, 1, 2], bidirectional=True)
+        assert chain_network.node(2).next_hop(0) == 1
+        assert chain_network.node(1).next_hop(0) == 0
+
+    def test_frame_size_includes_headers(self, chain_network):
+        node = chain_network.node(0)
+        udp = _packet(0, 1, size=1000)
+        tcp = _packet(0, 1, size=1000, kind=PacketKind.TCP_DATA)
+        assert node.frame_size_for(udp) > 1000
+        assert node.frame_size_for(tcp) > 1000
+
+    def test_link_rate_override(self, chain_network):
+        chain_network.set_link_rate((0, 1), 1)
+        assert chain_network.link_rate((0, 1)).bps == pytest.approx(1e6)
+        assert chain_network.link_rate((1, 2)).bps == pytest.approx(11e6)
+
+
+class TestProbingSystem:
+    @pytest.fixture
+    def probed_network(self):
+        net = MeshNetwork(
+            chain_topology(3, spacing_m=60.0),
+            seed=2,
+            propagation=no_shadowing_propagation(),
+            data_rate_mbps=11,
+        )
+        net.enable_probing(period_s=0.2)
+        net.run(20.0)
+        return net
+
+    def test_probes_are_sent_periodically(self, probed_network):
+        probing = probed_network.probing
+        for node in probed_network.node_ids:
+            assert probing.probes_sent(node, "data") > 50
+            assert probing.probes_sent(node, "ack") > 50
+
+    def test_neighbours_receive_probes(self, probed_network):
+        probing = probed_network.probing
+        assert probing.loss_rate(0, 1, "data") < 0.1
+        assert probing.loss_rate(1, 0, "ack") < 0.1
+
+    def test_distant_nodes_lose_many_probes(self, probed_network):
+        probing = probed_network.probing
+        # Node 0 and node 2 are 120 m apart: 11 Mb/s DATA probes suffer
+        # heavy channel losses, unlike the adjacent 60 m links.
+        assert probing.loss_rate(0, 2, "data") > 0.15
+        assert probing.loss_rate(0, 2, "data") > 5 * probing.loss_rate(0, 1, "data")
+
+    def test_loss_series_length_matches_window(self, probed_network):
+        probing = probed_network.probing
+        series = probing.loss_series(0, 1, "data", last_n=40)
+        assert series.size == 40
+        assert set(series.tolist()) <= {0, 1}
+
+    def test_link_loss_combines_directions(self, probed_network):
+        probing = probed_network.probing
+        combined = probing.link_loss_rate(0, 1)
+        assert combined >= probing.loss_rate(0, 1, "data") - 1e-9
+
+    def test_unknown_sender_has_full_loss(self, probed_network):
+        probing = probed_network.probing
+        assert probing.loss_rate(0, 99, "data") >= 0.0
+        assert probing.loss_series(99, 0, "data").size == 0
+
+    def test_stop_halts_probing(self, probed_network):
+        probing = probed_network.probing
+        probing.stop()
+        before = probing.probes_sent(0, "data")
+        probed_network.run(2.0)
+        assert probing.probes_sent(0, "data") <= before + 1
+
+
+class TestAdHocProbe:
+    def test_estimates_near_nominal_on_clean_link(self):
+        """Ad Hoc Probe tracks the nominal rate — the paper's Figure 11
+        over-estimation baseline."""
+        net = MeshNetwork(
+            chain_topology(2, spacing_m=50.0),
+            seed=5,
+            propagation=no_shadowing_propagation(),
+            data_rate_mbps=11,
+        )
+        net.install_path([0, 1])
+        probe = AdHocProbe(net.sim, net.node(0), net.node(1), pair_interval_s=0.1)
+        probe.start(num_pairs=60)
+        net.run(10.0)
+        estimate = probe.capacity_estimate_bps()
+        assert estimate is not None
+        nominal = nominal_throughput_bps(1472, RATE_11MBPS)
+        assert estimate == pytest.approx(nominal, rel=0.35)
+
+    def test_overestimates_lossy_link_capacity(self):
+        """On a lossy link the true maxUDP drops but Ad Hoc Probe barely moves."""
+        lossy = MeshNetwork(
+            chain_topology(2, spacing_m=50.0),
+            seed=6,
+            propagation=no_shadowing_propagation(),
+            data_rate_mbps=11,
+            link_error_override={(0, 1): 0.45, (1, 0): 0.0},
+        )
+        lossy.install_path([0, 1])
+        flow = lossy.add_udp_flow([0, 1])
+        max_udp = measure_isolated(lossy, flow, duration_s=2.0).throughput_bps
+        probe = AdHocProbe(lossy.sim, lossy.node(0), lossy.node(1), pair_interval_s=0.1)
+        probe.start(num_pairs=80)
+        lossy.run(10.0)
+        estimate = probe.capacity_estimate_bps()
+        assert estimate is not None
+        assert estimate > 1.3 * max_udp
+
+    def test_requires_positive_pair_count(self, chain_network):
+        probe = AdHocProbe(chain_network.sim, chain_network.node(0), chain_network.node(1))
+        with pytest.raises(ValueError):
+            probe.start(0)
+
+    def test_no_samples_returns_none(self, chain_network):
+        probe = AdHocProbe(chain_network.sim, chain_network.node(0), chain_network.node(1))
+        assert probe.capacity_estimate_bps() is None

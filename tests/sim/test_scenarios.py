@@ -1,0 +1,92 @@
+"""Tests for the canned experiment scenarios."""
+
+import pytest
+
+from repro.sim.scenarios import (
+    assign_link_rates,
+    build_testbed_network,
+    ett_link_weights,
+    ground_truth_link_error,
+    hidden_terminal_radio,
+    random_multiflow_scenario,
+    starvation_scenario,
+)
+
+import numpy as np
+
+
+class TestTestbedHelpers:
+    def test_build_testbed_network(self):
+        network = build_testbed_network(seed=0)
+        assert len(network.nodes) == 18
+
+    def test_run_seed_changes_traffic_randomness_only(self):
+        a = build_testbed_network(seed=0, run_seed=1)
+        b = build_testbed_network(seed=0, run_seed=2)
+        assert a.positions == b.positions
+        assert a.sim.seed != b.sim.seed
+
+    def test_ground_truth_link_error_bounds(self):
+        network = build_testbed_network(seed=0)
+        for link in [(0, 1), (0, 17), (0, 10)]:
+            error = ground_truth_link_error(network, link)
+            assert 0.0 <= error <= 1.0
+
+    def test_ett_weights_exclude_marginal_links(self):
+        network = build_testbed_network(seed=0)
+        weights = ett_link_weights(network, min_snr_margin_db=14.0)
+        assert weights, "expected at least some usable links"
+        for link in weights:
+            snr = network.medium.rx_power_dbm(*link) - network.medium.capture.noise_floor_dbm
+            assert snr >= network.link_rate(link).min_sinr_db + 14.0
+
+    def test_assign_link_rates_modes(self):
+        rng = np.random.default_rng(0)
+        network = build_testbed_network(seed=0)
+        assign_link_rates(network, "1", rng)
+        assert network.link_rate((0, 1)).bps == pytest.approx(1e6)
+        assign_link_rates(network, "11", rng)
+        assert network.link_rate((0, 1)).bps == pytest.approx(11e6)
+        assign_link_rates(network, "mixed", rng)
+        rates = {network.link_rate((tx, rx)).bps for tx in range(18) for rx in range(18) if tx != rx}
+        assert rates == {1e6, 11e6}
+
+
+class TestMultiFlowScenario:
+    def test_scenario_routes_within_hop_budget(self):
+        scenario = random_multiflow_scenario(seed=7, num_flows=4, max_hops=4)
+        assert len(scenario.flows) == 4
+        for route in scenario.routes:
+            assert 1 <= route.hop_count <= 4
+
+    def test_scenario_is_reproducible(self):
+        a = random_multiflow_scenario(seed=7, num_flows=3)
+        b = random_multiflow_scenario(seed=7, num_flows=3)
+        assert [r.path for r in a.routes] == [r.path for r in b.routes]
+
+    def test_tcp_transport_option(self):
+        scenario = random_multiflow_scenario(seed=3, num_flows=2, transport="tcp")
+        from repro.sim.network import TcpFlowHandle
+
+        assert all(isinstance(flow, TcpFlowHandle) for flow in scenario.flows)
+
+    def test_links_property_deduplicates(self):
+        scenario = random_multiflow_scenario(seed=7, num_flows=4)
+        assert len(scenario.links) == len(set(scenario.links))
+
+
+class TestStarvationScenario:
+    def test_gateway_is_hidden_from_far_node(self):
+        scenario = starvation_scenario(seed=0)
+        medium = scenario.network.medium
+        assert not medium.can_sense(0, 2)
+        assert medium.can_sense(0, 1)
+        assert medium.can_sense(1, 2)
+
+    def test_hidden_terminal_radio_reduces_cs_range(self):
+        assert hidden_terminal_radio().cs_threshold_dbm > -91.0
+
+    def test_flows_are_routed_upstream(self):
+        scenario = starvation_scenario(seed=0)
+        assert scenario.two_hop.path == [0, 1, 2]
+        assert scenario.one_hop.path == [1, 2]

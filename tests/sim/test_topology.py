@@ -1,0 +1,135 @@
+"""Tests for topology factories and the pair classifier."""
+
+import pytest
+
+from repro.sim import MeshNetwork, no_shadowing_propagation
+# Note: the testbed_* helpers are imported under aliases so pytest does
+# not collect them as test functions (their names start with "test").
+from repro.sim.topology import (
+    carrier_sense_pair,
+    chain_topology,
+    classify_pair,
+    grid_topology,
+    independent_pair,
+    information_asymmetry_pair,
+    near_far_pair,
+    random_link_pair,
+)
+from repro.sim.topology import testbed_positions as make_testbed_positions
+from repro.sim.topology import testbed_propagation as make_testbed_propagation
+
+import numpy as np
+
+
+def _medium_for(topology):
+    network = MeshNetwork(
+        topology.positions, seed=1, propagation=no_shadowing_propagation(), data_rate_mbps=11
+    )
+    return network.medium
+
+
+class TestPairFactories:
+    def test_carrier_sense_pair_classified_cs(self):
+        topo = carrier_sense_pair()
+        assert classify_pair(_medium_for(topo), topo.link1, topo.link2) == "CS"
+
+    def test_information_asymmetry_pair_classified_ia(self):
+        topo = information_asymmetry_pair()
+        assert classify_pair(_medium_for(topo), topo.link1, topo.link2) == "IA"
+
+    def test_near_far_pair_classified_nf(self):
+        topo = near_far_pair()
+        assert classify_pair(_medium_for(topo), topo.link1, topo.link2) == "NF"
+
+    def test_independent_pair_classified_ind(self):
+        topo = independent_pair()
+        assert classify_pair(_medium_for(topo), topo.link1, topo.link2) == "IND"
+
+    def test_links_attribute(self):
+        topo = carrier_sense_pair()
+        assert topo.links == [(0, 1), (2, 3)]
+
+    def test_both_links_usable(self):
+        """Every factory must place each receiver within decode range."""
+        for factory in (carrier_sense_pair, information_asymmetry_pair, near_far_pair, independent_pair):
+            topo = factory()
+            medium = _medium_for(topo)
+            for tx, rx in topo.links:
+                snr = medium.rx_power_dbm(tx, rx) - medium.capture.noise_floor_dbm
+                assert snr > 10.0, f"{factory.__name__} produced an unusable link {tx}->{rx}"
+
+    def test_random_pairs_cover_multiple_classes(self):
+        rng = np.random.default_rng(11)
+        classes = set()
+        for _ in range(40):
+            topo = random_link_pair(rng)
+            classes.add(classify_pair(_medium_for(topo), topo.link1, topo.link2))
+        assert len(classes) >= 2
+
+
+class TestMultiHopTopologies:
+    def test_chain_positions(self):
+        positions = chain_topology(4, spacing_m=50.0)
+        assert len(positions) == 4
+        assert positions[3] == (150.0, 0.0)
+
+    def test_chain_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            chain_topology(1)
+
+    def test_grid_positions(self):
+        positions = grid_topology(2, 3, spacing_m=10.0)
+        assert len(positions) == 6
+        assert positions[5] == (20.0, 10.0)
+
+    def test_grid_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+
+
+class TestTestbed:
+    def test_eighteen_nodes(self):
+        assert len(make_testbed_positions()) == 18
+
+    def test_jitter_is_seeded(self):
+        assert make_testbed_positions(seed=1) == make_testbed_positions(seed=1)
+        assert make_testbed_positions(seed=1) != make_testbed_positions(seed=2)
+
+    def test_propagation_has_shadowing(self):
+        model = make_testbed_propagation(seed=0)
+        assert model.shadowing_sigma_db > 0
+
+    def test_testbed_has_both_good_and_marginal_links(self):
+        """The synthetic testbed must offer a diversity of link qualities."""
+        net = MeshNetwork(
+            make_testbed_positions(seed=0), seed=0, propagation=make_testbed_propagation(seed=0),
+            data_rate_mbps=11,
+        )
+        snrs = []
+        nodes = net.node_ids
+        for i in nodes:
+            for j in nodes:
+                if i < j:
+                    snrs.append(net.medium.rx_power_dbm(i, j) - net.medium.capture.noise_floor_dbm)
+        snrs = np.array(snrs)
+        assert (snrs > 25).sum() >= 10, "expected several strong links"
+        assert ((snrs > 5) & (snrs < 25)).sum() >= 10, "expected several marginal links"
+        assert (snrs < 0).sum() >= 15, "expected several non-links (multi-hop needed)"
+
+    def test_testbed_is_multihop_connected(self):
+        """Every node pair is reachable, but not in a single hop."""
+        import networkx as nx
+
+        net = MeshNetwork(
+            make_testbed_positions(seed=0), seed=0, propagation=make_testbed_propagation(seed=0),
+            data_rate_mbps=11,
+        )
+        graph = nx.Graph()
+        graph.add_nodes_from(net.node_ids)
+        for i in net.node_ids:
+            for j in net.node_ids:
+                snr = net.medium.rx_power_dbm(i, j) - net.medium.capture.noise_floor_dbm
+                if i < j and snr > 10.0:
+                    graph.add_edge(i, j)
+        assert nx.is_connected(graph)
+        assert nx.diameter(graph) >= 2, "the testbed should require multi-hop routes"

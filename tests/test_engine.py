@@ -1,0 +1,115 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.3, lambda: order.append("c"))
+        sim.schedule(0.1, lambda: order.append("a"))
+        sim.schedule(0.2, lambda: order.append("b"))
+        sim.run_until(1.0)
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.1, lambda: order.append(1))
+        sim.schedule(0.1, lambda: order.append(2))
+        sim.run_until(1.0)
+        assert order == [1, 2]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run_until(1.0)
+        assert seen == [pytest.approx(0.5)]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_run_until_does_not_execute_future_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append("late"))
+        sim.run_until(1.0)
+        assert seen == []
+        sim.run_until(3.0)
+        assert seen == ["late"]
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(0.1, lambda: seen.append("x"))
+        event.cancel()
+        sim.run_until(1.0)
+        assert seen == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run_until(1.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.2, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(0.25, lambda: seen.append(sim.now))
+
+        sim.schedule(0.5, first)
+        sim.run_until(1.0)
+        assert seen == [pytest.approx(0.5), pytest.approx(0.75)]
+
+    def test_pending_and_processed_counters(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        evt = sim.schedule(0.2, lambda: None)
+        evt.cancel()
+        assert sim.pending_events == 1
+        sim.run_until(1.0)
+        assert sim.processed_events == 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+    def test_arbitrary_delays_execute_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run_until(200.0)
+        assert fired == sorted(delays)
+        assert len(fired) == len(delays)
+
+
+class TestRngStreams:
+    def test_streams_are_reproducible(self):
+        a = Simulator(seed=5).rng_stream("mac-1").random(5)
+        b = Simulator(seed=5).rng_stream("mac-1").random(5)
+        assert list(a) == list(b)
+
+    def test_streams_differ_by_name(self):
+        sim = Simulator(seed=5)
+        a = sim.rng_stream("mac-1").random(5)
+        b = sim.rng_stream("mac-2").random(5)
+        assert list(a) != list(b)
+
+    def test_streams_differ_by_seed(self):
+        a = Simulator(seed=5).rng_stream("mac-1").random(5)
+        b = Simulator(seed=6).rng_stream("mac-1").random(5)
+        assert list(a) != list(b)
+
+    def test_same_stream_returned_on_repeat_lookup(self):
+        sim = Simulator(seed=5)
+        assert sim.rng_stream("x") is sim.rng_stream("x")

@@ -1,0 +1,69 @@
+"""Tests for UDP sources and sinks over the simulated mesh."""
+
+import pytest
+
+from repro.mac.nominal import nominal_throughput_bps
+from repro.phy.radio import RATE_11MBPS
+from repro.sim.measurement import measure_isolated
+
+
+class TestBacklogged:
+    def test_backlogged_saturates_link(self, cs_pair_network):
+        flow = cs_pair_network.add_udp_flow([0, 1], payload_bytes=1470)
+        result = measure_isolated(cs_pair_network, flow, duration_s=1.5)
+        assert result.throughput_bps > 0.9 * nominal_throughput_bps(1470, RATE_11MBPS)
+
+    def test_stop_stops_traffic(self, cs_pair_network):
+        flow = cs_pair_network.add_udp_flow([0, 1])
+        flow.start()
+        cs_pair_network.run(0.5)
+        flow.stop()
+        cs_pair_network.run(0.5)
+        quiet_start = cs_pair_network.now
+        cs_pair_network.run(0.5)
+        assert flow.throughput_bps(quiet_start, cs_pair_network.now) == 0.0
+
+
+class TestCbr:
+    def test_cbr_rate_is_respected(self, cs_pair_network):
+        target = 1.0e6
+        flow = cs_pair_network.add_udp_flow([0, 1], rate_bps=target)
+        result = measure_isolated(cs_pair_network, flow, duration_s=2.0)
+        assert result.throughput_bps == pytest.approx(target, rel=0.1)
+
+    def test_cbr_above_capacity_saturates(self, cs_pair_network):
+        flow = cs_pair_network.add_udp_flow([0, 1], rate_bps=50e6)
+        result = measure_isolated(cs_pair_network, flow, duration_s=1.5)
+        nominal = nominal_throughput_bps(1470, RATE_11MBPS)
+        assert result.throughput_bps < 1.1 * nominal
+
+    def test_set_rate_changes_throughput(self, cs_pair_network):
+        flow = cs_pair_network.add_udp_flow([0, 1], rate_bps=0.5e6)
+        flow.start()
+        cs_pair_network.run(2.0)
+        first = flow.throughput_bps(1.0, 2.0)
+        flow.source.set_rate(2.0e6)
+        cs_pair_network.run(2.0)
+        second = flow.throughput_bps(cs_pair_network.now - 1.0, cs_pair_network.now)
+        assert second > 2.5 * first
+
+    def test_zero_rate_sends_nothing(self, cs_pair_network):
+        flow = cs_pair_network.add_udp_flow([0, 1], rate_bps=0.0)
+        result = measure_isolated(cs_pair_network, flow, duration_s=1.0)
+        assert result.throughput_bps == 0.0
+
+
+class TestMultiHop:
+    def test_two_hop_udp_delivery(self, chain_network):
+        flow = chain_network.add_udp_flow([0, 1, 2], rate_bps=0.5e6)
+        result = measure_isolated(chain_network, flow, duration_s=2.0)
+        assert result.throughput_bps == pytest.approx(0.5e6, rel=0.15)
+
+    def test_two_hop_backlogged_gets_about_half_capacity(self, chain_network):
+        """Self-interference along a chain halves the end-to-end rate."""
+        one_hop = chain_network.add_udp_flow([0, 1], payload_bytes=1470)
+        alone = measure_isolated(chain_network, one_hop, duration_s=1.5)
+        two_hop = chain_network.add_udp_flow([0, 1, 2], payload_bytes=1470)
+        relayed = measure_isolated(chain_network, two_hop, duration_s=1.5)
+        assert relayed.throughput_bps < 0.7 * alone.throughput_bps
+        assert relayed.throughput_bps > 0.25 * alone.throughput_bps
