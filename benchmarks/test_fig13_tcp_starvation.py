@@ -6,15 +6,17 @@ paper shows: TCP-noRC and TCP-Max achieve (near-)maximum aggregate
 throughput but starve the 2-hop flow; TCP-Prop lifts the starving flow
 at some cost in aggregate throughput; rate control also stabilises both
 flows.
+
+The three variants are declared as :class:`ExperimentSpec`s over the
+registered ``starvation`` scenario and executed by the batch runner.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import BatchRunner, ControllerSpec, ExperimentSpec, ProbingSpec, ScenarioSpec
 from repro.analysis import ExperimentReport, format_table, jain_fairness_index
-from repro.core import MAX_THROUGHPUT, OnlineOptimizer, PROPORTIONAL_FAIR
-from repro.sim.scenarios import starvation_scenario
 
 from conftest import run_once
 
@@ -22,33 +24,39 @@ PROBE_WARMUP_S = 50.0
 MEASURE_S = 20.0
 RUNS_PER_VARIANT = 2
 
+VARIANTS = {
+    "TCP-noRC": ControllerSpec(enabled=False),
+    "TCP-Max": ControllerSpec(alpha=0.0, probing_window=90),
+    "TCP-Prop": ControllerSpec(alpha=1.0, probing_window=90),
+}
 
-def _run_variant(utility, seed):
-    scenario = starvation_scenario(seed=seed, data_rate_mbps=1)
-    network = scenario.network
-    if utility is not None:
-        network.enable_probing(period_s=0.5)
-        network.run(PROBE_WARMUP_S)
-        controller = OnlineOptimizer(
-            network, scenario.flows, utility=utility, probing_window=90
-        )
-        controller.run_cycle()
-    scenario.two_hop.start()
-    scenario.one_hop.start()
-    network.run(MEASURE_S)
-    start, end = network.now - (MEASURE_S - 5.0), network.now
-    return (
-        scenario.two_hop.throughput_bps(start, end),
-        scenario.one_hop.throughput_bps(start, end),
+
+def _spec(name: str, controller: ControllerSpec, seed: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        scenario=ScenarioSpec(scenario="starvation", seed=seed, data_rate_mbps=1),
+        probing=ProbingSpec(warmup_s=PROBE_WARMUP_S),
+        controller=controller,
+        cycles=1,
+        cycle_measure_s=MEASURE_S,
+        settle_s=5.0,
+        label=name,
     )
 
 
 def _run_all():
-    variants = {"TCP-noRC": None, "TCP-Max": MAX_THROUGHPUT, "TCP-Prop": PROPORTIONAL_FAIR}
-    results = {}
-    for name, utility in variants.items():
-        runs = [_run_variant(utility, seed) for seed in range(RUNS_PER_VARIANT)]
-        results[name] = runs
+    specs = [
+        _spec(name, controller, seed)
+        for name, controller in VARIANTS.items()
+        for seed in range(RUNS_PER_VARIANT)
+    ]
+    batch = BatchRunner(specs, parallel=False).run()
+    results: dict[str, list[tuple[float, float]]] = {}
+    for spec, result in zip(specs, batch):
+        two_hop, one_hop = result.meta["two_hop"], result.meta["one_hop"]
+        throughputs = result.flow_throughputs_bps
+        results.setdefault(spec.label, []).append(
+            (throughputs[two_hop], throughputs[one_hop])
+        )
     return results
 
 

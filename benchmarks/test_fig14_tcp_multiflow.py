@@ -5,20 +5,25 @@ Reports the four panels of the figure: (a) aggregate throughput of
 rate-controlled TCP relative to plain TCP, (b) Jain fairness index,
 (c) flow-isolation feasibility (achieved over optimized rate) and
 (d) stability across repeated runs of the same configuration.
+
+The whole scenarios x variants x repeated-runs matrix is enumerated as
+:class:`ExperimentSpec`s over the registered ``random_multiflow``
+scenario and executed by the batch runner; stability repeats re-seed
+only the traffic randomness (``run_seed``), keeping topology and routes
+fixed, exactly as the paper's repeated testbed runs do.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import BatchRunner, ControllerSpec, ExperimentSpec, ProbingSpec, ScenarioSpec
 from repro.analysis import (
     ExperimentReport,
     format_table,
     jain_fairness_index,
     stability_deviations,
 )
-from repro.core import MAX_THROUGHPUT, OnlineOptimizer, PROPORTIONAL_FAIR
-from repro.sim.scenarios import random_multiflow_scenario
 
 from conftest import run_once
 
@@ -30,34 +35,44 @@ PROBE_WARMUP_S = 45.0
 MEASURE_S = 12.0
 RUNS = 2
 
+VARIANTS = {
+    "noRC": ControllerSpec(enabled=False),
+    "Max": ControllerSpec(alpha=0.0, probing_window=80, payload_bytes=1460),
+    "Prop": ControllerSpec(alpha=1.0, probing_window=80, payload_bytes=1460),
+}
 
-def _run_one(spec, utility, run_seed):
-    scenario = random_multiflow_scenario(transport="tcp", run_seed=run_seed, **spec)
-    network = scenario.network
-    targets = None
-    if utility is not None:
-        network.enable_probing(period_s=0.5)
-        network.run(PROBE_WARMUP_S)
-        controller = OnlineOptimizer(
-            network, scenario.flows, utility=utility, probing_window=80,
-            payload_bytes=1460,
-        )
-        decision = controller.run_cycle()
-        targets = [decision.target_outputs_bps[f.flow_id] for f in scenario.flows]
-    for flow in scenario.flows:
-        flow.start()
-    network.run(MEASURE_S)
-    start, end = network.now - MEASURE_S + 2.0, network.now
-    achieved = [flow.throughput_bps(start, end) for flow in scenario.flows]
-    return achieved, targets
+
+def _spec(scenario_kwargs: dict, controller: ControllerSpec, run_seed: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="random_multiflow", transport="tcp", run_seed=run_seed, **scenario_kwargs
+        ),
+        probing=ProbingSpec(warmup_s=PROBE_WARMUP_S),
+        controller=controller,
+        cycles=1,
+        cycle_measure_s=MEASURE_S,
+        settle_s=2.0,
+    )
 
 
 def _run_all():
-    data = {}
-    for name, utility in (("noRC", None), ("Max", MAX_THROUGHPUT), ("Prop", PROPORTIONAL_FAIR)):
+    data: dict[str, list[list[tuple[list[float], list[float] | None]]]] = {}
+    for name, controller in VARIANTS.items():
         per_scenario = []
-        for spec in SCENARIO_SPECS:
-            runs = [_run_one(spec, utility, run_seed=1000 + r) for r in range(RUNS)]
+        for scenario_kwargs in SCENARIO_SPECS:
+            specs = [
+                _spec(scenario_kwargs, controller, run_seed=1000 + r) for r in range(RUNS)
+            ]
+            runs = []
+            for result in BatchRunner(specs, parallel=False).run():
+                final = result.final_cycle
+                achieved = [final.achieved_bps[f] for f in result.flow_ids]
+                targets = (
+                    [final.target_bps[f] for f in result.flow_ids]
+                    if final.target_bps
+                    else None
+                )
+                runs.append((achieved, targets))
             per_scenario.append(runs)
         data[name] = per_scenario
     return data

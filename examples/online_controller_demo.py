@@ -1,62 +1,75 @@
 #!/usr/bin/env python3
 """The full online optimization loop on the 18-node testbed.
 
-Builds a mixed-rate (1 / 11 Mb/s) multi-flow scenario on the synthetic
-testbed, runs the probing/estimation/optimization/rate-control loop
-periodically, and reports how the achieved throughputs track the
-optimized targets over successive control cycles — the operational mode
-of Section 6 of the paper.
+Declares a mixed-rate (1 / 11 Mb/s) multi-flow scenario on the synthetic
+testbed and lets the :class:`repro.Experiment` runner drive the
+probing/estimation/optimization/rate-control loop for several control
+cycles — the operational mode of Section 6 of the paper.  A multi-seed
+:class:`repro.BatchRunner` sweep of the same experiment follows, showing
+how a whole evaluation matrix is enumerated from one spec.
 
 Run with:  python examples/online_controller_demo.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import jain_fairness_index
-from repro.core import OnlineOptimizer, PROPORTIONAL_FAIR
-from repro.sim.scenarios import random_multiflow_scenario
+from repro import (
+    BatchRunner,
+    ControllerSpec,
+    Experiment,
+    ExperimentSpec,
+    ProbingSpec,
+    ScenarioSpec,
+    seed_sweep,
+)
 
-PROBE_WARMUP_S = 60.0
-CYCLE_MEASURE_S = 15.0
-NUM_CYCLES = 3
+SPEC = ExperimentSpec(
+    scenario=ScenarioSpec(
+        scenario="random_multiflow", seed=7, num_flows=4, rate_mode="mixed", transport="udp"
+    ),
+    probing=ProbingSpec(period_s=0.5, warmup_s=60.0),
+    controller=ControllerSpec(alpha=1.0, probing_window=120),
+    cycles=3,
+    cycle_measure_s=15.0,
+    settle_s=3.0,
+    label="online-controller",
+)
 
 
 def main() -> None:
-    scenario = random_multiflow_scenario(seed=7, num_flows=4, rate_mode="mixed", transport="udp")
-    network = scenario.network
-    print(f"scenario {scenario.name}")
-    for route in scenario.routes:
-        rates = [network.link_rate(link).name for link in route.links]
-        print(f"  flow {route.flow_id}: {' -> '.join(map(str, route.path))}  ({', '.join(rates)})")
-
-    network.enable_probing(period_s=0.5)
-    print(f"\nwarming up the probing system for {PROBE_WARMUP_S:.0f} s of virtual time...")
-    network.run(PROBE_WARMUP_S)
-
-    controller = OnlineOptimizer(
-        network, scenario.flows, utility=PROPORTIONAL_FAIR, probing_window=120
-    )
+    print(f"experiment: {SPEC.describe()}")
+    experiment = Experiment(SPEC)
+    scenario = experiment.build()
     for flow in scenario.flows:
-        flow.start()
+        rates = [scenario.network.link_rate(link).name for link in flow.links]
+        print(f"  flow {flow.flow_id}: {' -> '.join(map(str, flow.path))}  ({', '.join(rates)})")
 
-    for cycle in range(1, NUM_CYCLES + 1):
-        decision = controller.run_cycle()
-        network.run(CYCLE_MEASURE_S)
-        start, end = network.now - CYCLE_MEASURE_S + 3.0, network.now
-        achieved = [flow.throughput_bps(start, end) for flow in scenario.flows]
-        targets = [decision.target_outputs_bps[flow.flow_id] for flow in scenario.flows]
-        print(f"\ncontrol cycle {cycle}:")
-        for flow, target, got in zip(scenario.flows, targets, achieved):
+    print(f"\nwarming up the probing system for {SPEC.probing.warmup_s:.0f} s of virtual time...")
+    result = experiment.run(scenario)
+
+    for cycle in result.cycles:
+        print(f"\ncontrol cycle {cycle.index + 1}:")
+        for flow_id in result.flow_ids:
+            target = cycle.target_bps[flow_id]
+            got = cycle.achieved_bps[flow_id]
             ratio = got / target if target > 0 else 1.0
             print(
-                f"  flow {flow.flow_id}: target {target / 1e3:7.1f} kb/s, "
+                f"  flow {flow_id}: target {target / 1e3:7.1f} kb/s, "
                 f"achieved {got / 1e3:7.1f} kb/s ({100 * ratio:5.1f}%)"
             )
-        print(
-            f"  aggregate {sum(achieved) / 1e3:.1f} kb/s, "
-            f"Jain fairness index {jain_fairness_index(achieved):.3f}, "
-            f"{decision.region.num_extreme_points} extreme points in the model"
+        extreme_points = (
+            cycle.decision.region.num_extreme_points if cycle.decision is not None else 0
         )
+        print(
+            f"  aggregate {cycle.aggregate_bps / 1e3:.1f} kb/s, "
+            f"utility {cycle.utility:.2f}, "
+            f"{extreme_points} extreme points in the model"
+        )
+
+    # The same experiment as a 3-seed sweep: one spec, a whole matrix.
+    print("\nsweeping the same experiment across 3 scenario seeds...")
+    batch = BatchRunner(seed_sweep(SPEC, [7, 8, 9])).run()
+    print(batch.report("online-controller seed sweep").render())
 
 
 if __name__ == "__main__":

@@ -1,43 +1,43 @@
 #!/usr/bin/env python3
-"""Quickstart: optimize two UDP flows on a small mesh.
+"""Quickstart: optimize two UDP flows on a small mesh, declaratively.
 
-Builds a three-node chain, lets the broadcast probing system measure the
-links for a while, runs one cycle of the online optimizer (proportional
-fairness) and verifies that the programmed rates are actually delivered.
+Declares a three-node chain scenario with a 2-hop and a 1-hop UDP flow,
+runs it through the :class:`repro.Experiment` runner (probe warmup, one
+online optimization cycle, measurement) and prints the typed results:
+per-link online estimates, optimized rates and achieved throughput.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import OnlineOptimizer, PROPORTIONAL_FAIR
-from repro.sim import MeshNetwork, chain_topology, no_shadowing_propagation
+from repro import ControllerSpec, Experiment, ExperimentSpec, FlowSpec, ProbingSpec, ScenarioSpec
 
 
 def main() -> None:
-    # 1. Build a small mesh: three nodes in a line, 11 Mb/s links.
-    network = MeshNetwork(
-        chain_topology(3, spacing_m=60.0),
-        seed=1,
-        propagation=no_shadowing_propagation(),
-        data_rate_mbps=11,
+    # 1.-3. Declare the whole experiment: a three-node chain at 11 Mb/s,
+    #    two UDP flows sharing the relay, 60 s of probe warmup and one
+    #    proportional-fair optimization cycle.
+    spec = ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="chain",
+            seed=1,
+            flows=(FlowSpec("udp", (0, 1, 2)), FlowSpec("udp", (1, 2))),
+        ),
+        probing=ProbingSpec(period_s=0.5, warmup_s=60.0),
+        controller=ControllerSpec(alpha=1.0, probing_window=100),
+        cycles=1,
+        cycle_measure_s=10.0,
+        settle_s=2.0,
+        label="quickstart",
     )
 
-    # 2. Two UDP flows sharing the relay: a 2-hop flow and a 1-hop flow.
-    two_hop = network.add_udp_flow([0, 1, 2])
-    one_hop = network.add_udp_flow([1, 2])
-
-    # 3. Let the network-layer broadcast probes measure the links.
-    network.enable_probing(period_s=0.5)
+    # 4. Run it: estimate capacities, build the conflict graph, maximize
+    #    proportional-fair utility, program rates, measure.
     print("measuring links with broadcast probes (60 s of virtual time)...")
-    network.run(60.0)
-
-    # 4. One online optimization cycle: estimate capacities, build the
-    #    conflict graph, maximize proportional-fair utility, program rates.
-    controller = OnlineOptimizer(
-        network, [two_hop, one_hop], utility=PROPORTIONAL_FAIR, probing_window=100
-    )
-    decision = controller.run_cycle()
+    result = Experiment(spec).run()
+    cycle = result.final_cycle
+    decision = cycle.decision
 
     print("\nper-link online estimates:")
     for link, estimate in decision.link_estimates.items():
@@ -46,23 +46,25 @@ def main() -> None:
             f"capacity {estimate.capacity_bps / 1e6:.2f} Mb/s"
         )
     print("\noptimized output rates:")
-    for flow in (two_hop, one_hop):
-        target = decision.target_outputs_bps[flow.flow_id]
-        print(f"  flow {flow.flow_id} ({' -> '.join(map(str, flow.path))}): {target / 1e3:.0f} kb/s")
+    for flow_id in result.flow_ids:
+        path = result.flow_paths[flow_id]
+        target = cycle.target_bps[flow_id]
+        print(f"  flow {flow_id} ({' -> '.join(map(str, path))}): {target / 1e3:.0f} kb/s")
 
-    # 5. Start the flows at the programmed rates and check what they achieve.
-    two_hop.start()
-    one_hop.start()
-    network.run(10.0)
-    start, end = network.now - 8.0, network.now
+    # 5. The runner already measured what the programmed rates achieve.
     print("\nachieved throughput:")
-    for flow in (two_hop, one_hop):
-        achieved = flow.throughput_bps(start, end)
-        target = decision.target_outputs_bps[flow.flow_id]
+    for flow_id in result.flow_ids:
+        achieved = cycle.achieved_bps[flow_id]
+        target = cycle.target_bps[flow_id]
         print(
-            f"  flow {flow.flow_id}: {achieved / 1e3:.0f} kb/s "
+            f"  flow {flow_id}: {achieved / 1e3:.0f} kb/s "
             f"({100 * achieved / max(target, 1):.0f}% of the optimized rate)"
         )
+    print(
+        f"\naggregate {result.aggregate_bps / 1e3:.0f} kb/s, "
+        f"Jain fairness index {result.jain_index:.3f}, "
+        f"{result.events_processed} simulator events in {result.wall_time_s:.2f} s"
+    )
 
 
 if __name__ == "__main__":

@@ -10,25 +10,96 @@ The package is organised as the paper's system is:
   model, its online estimation (capacity representation, channel-loss
   estimator, two-hop interference) and the utility-maximising
   rate-control loop.
+* :mod:`repro.experiment` — the declarative front door: frozen
+  specification dataclasses, a named scenario registry, the
+  :class:`Experiment` runner and a multi-seed :class:`BatchRunner`.
 * :mod:`repro.analysis` — metrics and reporting used by the benchmark
   harness that regenerates every figure of the paper's evaluation.
 
-Quickstart::
+Quickstart — declare a scenario, run it, read typed results::
 
-    from repro.sim import MeshNetwork, testbed_positions, testbed_propagation
-    from repro.core import OnlineOptimizer, PROPORTIONAL_FAIR
+    from repro import ControllerSpec, Experiment, ExperimentSpec, FlowSpec, ScenarioSpec
 
-    net = MeshNetwork(testbed_positions(), seed=1,
-                      propagation=testbed_propagation(), data_rate_mbps=11)
-    flow = net.add_tcp_flow([0, 1, 4])
-    net.enable_probing()
-    net.run(120.0)                      # let probes accumulate
-    controller = OnlineOptimizer(net, [flow])
-    decision = controller.run_cycle()   # estimate, optimize, shape
-    flow.start()
-    net.run(30.0)
+    spec = ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="chain",                 # a registered scenario name
+            seed=1,
+            flows=(FlowSpec("udp", (0, 1, 2)), FlowSpec("udp", (1, 2))),
+        ),
+        controller=ControllerSpec(alpha=1.0), # proportional fairness
+        cycles=1,
+        cycle_measure_s=10.0,
+    )
+    result = Experiment(spec).run()
+    print(result.flow_throughputs_bps, result.jain_index)
+    decision = result.final_cycle.decision   # full ControlDecision per cycle
+
+Sweep seeds in parallel (results are bit-identical to sequential runs)::
+
+    from repro import BatchRunner, seed_sweep
+
+    batch = BatchRunner(seed_sweep(spec, range(4))).run()
+    print(batch.report().render())
+
+The original imperative path still works — build a
+:class:`repro.sim.MeshNetwork`, add flows, enable probing and drive a
+:class:`repro.core.OnlineOptimizer` by hand — and is what the spec layer
+is built on.
 """
 
-__version__ = "1.0.0"
+from repro.experiment import (
+    BatchResult,
+    BatchRunner,
+    ControllerSpec,
+    CycleResult,
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    FlowSpec,
+    NO_RATE_CONTROL,
+    ProbingSpec,
+    RadioSpec,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+    build_scenario,
+    register_scenario,
+    run_experiment,
+    scenario_description,
+    scenario_names,
+    seed_sweep,
+)
 
-__all__ = ["phy", "mac", "net", "transport", "sim", "core", "analysis", "__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "phy",
+    "mac",
+    "net",
+    "transport",
+    "sim",
+    "core",
+    "analysis",
+    "experiment",
+    "BatchResult",
+    "BatchRunner",
+    "ControllerSpec",
+    "CycleResult",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "FlowSpec",
+    "NO_RATE_CONTROL",
+    "ProbingSpec",
+    "RadioSpec",
+    "ScenarioSpec",
+    "SpecError",
+    "TopologySpec",
+    "build_scenario",
+    "register_scenario",
+    "run_experiment",
+    "scenario_description",
+    "scenario_names",
+    "seed_sweep",
+    "__version__",
+]

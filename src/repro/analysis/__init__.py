@@ -12,6 +12,7 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.reporting import (
     ExperimentReport,
+    batch_summary_table,
     drain_emitted_reports,
     format_cdf_summary,
     format_table,
@@ -26,6 +27,7 @@ __all__ = [
     "rmse",
     "stability_deviations",
     "ExperimentReport",
+    "batch_summary_table",
     "drain_emitted_reports",
     "format_cdf_summary",
     "format_table",

@@ -49,6 +49,44 @@ def format_cdf_summary(name: str, values: Sequence[float], percentiles=(10, 25, 
     return "  ".join(parts)
 
 
+def batch_summary_table(results: Sequence[object], title: str | None = None) -> str:
+    """Summary table for a batch of experiment results.
+
+    Accepts any sequence of :class:`repro.experiment.ExperimentResult`\\ s
+    (duck-typed here to keep the analysis layer free of an experiment
+    dependency): one row per run plus a mean/min/max footer over the
+    aggregate throughputs.
+    """
+    import numpy as np
+
+    rows = []
+    aggregates = []
+    for result in results:
+        spec = result.spec
+        aggregate = result.aggregate_bps
+        aggregates.append(aggregate)
+        rows.append([
+            spec.label or spec.scenario.scenario,
+            spec.scenario.seed,
+            spec.scenario.run_seed if spec.scenario.run_seed is not None else "-",
+            aggregate / 1e3,
+            result.jain_index,
+            result.utility,
+        ])
+    table = format_table(
+        ["experiment", "seed", "run_seed", "aggregate kb/s", "Jain index", "utility"],
+        rows,
+        title=title,
+    )
+    if aggregates:
+        x = np.asarray(aggregates, dtype=float)
+        table += (
+            f"\naggregate kb/s over {x.size} run(s): "
+            f"mean={x.mean() / 1e3:.1f}  min={x.min() / 1e3:.1f}  max={x.max() / 1e3:.1f}"
+        )
+    return table
+
+
 @dataclass
 class ExperimentReport:
     """Accumulates paper-vs-measured lines for one experiment."""

@@ -14,10 +14,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+
+def rng_spawn_key(name: str) -> int:
+    """Stable 32-bit spawn key for a named RNG stream.
+
+    A CRC32 of the UTF-8 name rather than ``hash(name)``: Python's string
+    hash is salted per process (PYTHONHASHSEED), which would give every
+    worker of a parallel batch run a different random stream for the same
+    component and break run-to-run reproducibility.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass(order=True)
@@ -57,7 +69,7 @@ class Simulator:
         """A named, reproducible RNG stream derived from the master seed."""
         if name not in self._streams:
             self._streams[name] = np.random.default_rng(
-                np.random.SeedSequence(entropy=self.seed, spawn_key=(hash(name) & 0xFFFFFFFF,))
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(rng_spawn_key(name),))
             )
         return self._streams[name]
 

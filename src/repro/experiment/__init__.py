@@ -1,0 +1,66 @@
+"""Declarative experiment API: spec -> build -> run -> typed results.
+
+This package is the canonical public entry point to the reproduction:
+
+* :mod:`repro.experiment.specs` — frozen, serializable specification
+  dataclasses (:class:`ScenarioSpec`, :class:`ExperimentSpec`, ...);
+* :mod:`repro.experiment.registry` — the named scenario registry
+  (:func:`register_scenario`) wrapping the canned builders of
+  :mod:`repro.sim.scenarios`;
+* :mod:`repro.experiment.runner` — :class:`Experiment`, which drives
+  warmup -> N optimizer cycles -> measurement and returns an
+  :class:`ExperimentResult`;
+* :mod:`repro.experiment.batch` — :class:`BatchRunner`, a multi-seed /
+  multi-scenario sweep with process parallelism whose results are
+  bit-identical to a sequential run.
+"""
+
+from repro.experiment.batch import BatchResult, BatchRunner, seed_sweep
+from repro.experiment.registry import (
+    BuiltScenario,
+    build_scenario,
+    register_scenario,
+    scenario_description,
+    scenario_names,
+)
+from repro.experiment.runner import (
+    CycleResult,
+    Experiment,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.experiment.specs import (
+    NO_RATE_CONTROL,
+    ControllerSpec,
+    ExperimentSpec,
+    FlowSpec,
+    ProbingSpec,
+    RadioSpec,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+)
+
+__all__ = [
+    "BatchResult",
+    "BatchRunner",
+    "seed_sweep",
+    "BuiltScenario",
+    "build_scenario",
+    "register_scenario",
+    "scenario_description",
+    "scenario_names",
+    "CycleResult",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "NO_RATE_CONTROL",
+    "ControllerSpec",
+    "ExperimentSpec",
+    "FlowSpec",
+    "ProbingSpec",
+    "RadioSpec",
+    "ScenarioSpec",
+    "SpecError",
+    "TopologySpec",
+]

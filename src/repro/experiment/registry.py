@@ -1,0 +1,220 @@
+"""Named scenario registry.
+
+A *scenario builder* materializes a :class:`ScenarioSpec` into a live
+:class:`MeshNetwork` plus flow handles.  Builders register under a name
+with :func:`register_scenario`, which makes every scenario discoverable
+(``scenario_names()``), describable (``scenario_description()``) and
+runnable by name through :class:`repro.experiment.runner.Experiment`.
+
+The built-ins wrap the canned constructions of
+:mod:`repro.sim.scenarios`:
+
+* ``chain`` — an N-node chain with explicit flows (defaults to one UDP
+  flow over the whole chain);
+* ``testbed`` — the synthetic 18-node testbed with explicit flows;
+* ``random_multiflow`` — ETT-routed random multi-flow configurations of
+  Sections 4.5 / 6.3;
+* ``starvation`` — the two-flow upstream TCP gateway scenario of
+  Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.experiment.specs import FlowSpec, ScenarioSpec, SpecError, TopologySpec
+from repro.sim.network import MeshNetwork, TcpFlowHandle, UdpFlowHandle
+
+FlowHandle = UdpFlowHandle | TcpFlowHandle
+
+
+@dataclass
+class BuiltScenario:
+    """A materialized scenario: the live network plus its flows.
+
+    ``meta`` carries builder-specific annotations (flow roles, routed
+    paths, ...) onto the experiment result; keep its values plain
+    JSON-safe data so results serialize losslessly.
+    """
+
+    name: str
+    spec: ScenarioSpec
+    network: MeshNetwork
+    flows: list[FlowHandle]
+    meta: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def links(self) -> list[tuple[int, int]]:
+        ordered: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for flow in self.flows:
+            for link in flow.links:
+                if link not in seen:
+                    seen.add(link)
+                    ordered.append(link)
+        return ordered
+
+
+class ScenarioBuilder(Protocol):
+    def __call__(self, spec: ScenarioSpec) -> BuiltScenario: ...
+
+
+@dataclass(frozen=True)
+class _Registration:
+    builder: ScenarioBuilder
+    description: str
+
+
+_SCENARIOS: dict[str, _Registration] = {}
+
+
+def register_scenario(
+    name: str, *, description: str = ""
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Class-of-scenarios decorator: register ``builder`` under ``name``."""
+
+    def decorator(builder: ScenarioBuilder) -> ScenarioBuilder:
+        if name in _SCENARIOS:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _SCENARIOS[name] = _Registration(
+            builder=builder, description=description or (builder.__doc__ or "").strip()
+        )
+        return builder
+
+    return decorator
+
+
+def scenario_names() -> list[str]:
+    """Every registered scenario name, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_description(name: str) -> str:
+    """The one-line description a scenario registered with."""
+    return _get(name).description
+
+
+def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
+    """Materialize ``spec`` via its registered builder."""
+    return _get(spec.scenario).builder(spec)
+
+
+def _get(name: str) -> _Registration:
+    if name not in _SCENARIOS:
+        raise SpecError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        )
+    return _SCENARIOS[name]
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+def _add_flows(network: MeshNetwork, flows: tuple[FlowSpec, ...]) -> list[FlowHandle]:
+    handles: list[FlowHandle] = []
+    for flow in flows:
+        if flow.transport == "udp":
+            handles.append(
+                network.add_udp_flow(
+                    list(flow.path),
+                    payload_bytes=flow.payload_bytes,
+                    rate_bps=flow.rate_bps,
+                )
+            )
+        else:
+            handles.append(
+                network.add_tcp_flow(list(flow.path), mss_bytes=flow.mss_bytes)
+            )
+    return handles
+
+
+@register_scenario(
+    "chain", description="N-node chain with explicit flows (deterministic propagation)"
+)
+def _build_chain(spec: ScenarioSpec) -> BuiltScenario:
+    from repro.phy.propagation import LogDistancePathLoss
+
+    topology = spec.topology or TopologySpec(kind="chain", num_nodes=3, spacing_m=60.0)
+    positions = topology.build(seed=spec.seed)
+    sigma = 0.0 if spec.shadowing_sigma_db is None else spec.shadowing_sigma_db
+    network = MeshNetwork(
+        positions,
+        seed=spec.seed if spec.run_seed is None else spec.run_seed,
+        radio=spec.radio.build() if spec.radio else None,
+        propagation=LogDistancePathLoss(shadowing_sigma_db=sigma, seed=spec.seed),
+        data_rate_mbps=spec.data_rate_mbps,
+    )
+    flows = spec.flows or (
+        FlowSpec(transport=spec.transport, path=tuple(sorted(positions))),
+    )
+    return BuiltScenario(
+        name="chain", spec=spec, network=network, flows=_add_flows(network, flows)
+    )
+
+
+@register_scenario(
+    "testbed", description="the synthetic 18-node testbed with explicit flows"
+)
+def _build_testbed(spec: ScenarioSpec) -> BuiltScenario:
+    from repro.sim.scenarios import build_testbed_network
+
+    if not spec.flows:
+        raise SpecError("the 'testbed' scenario needs explicit FlowSpecs")
+    sigma = 6.0 if spec.shadowing_sigma_db is None else spec.shadowing_sigma_db
+    network = build_testbed_network(
+        seed=spec.seed,
+        data_rate_mbps=spec.data_rate_mbps,
+        shadowing_sigma_db=sigma,
+        radio=spec.radio.build() if spec.radio else None,
+        run_seed=spec.run_seed,
+    )
+    return BuiltScenario(
+        name="testbed", spec=spec, network=network, flows=_add_flows(network, spec.flows)
+    )
+
+
+@register_scenario(
+    "random_multiflow",
+    description="ETT-routed random multi-flow testbed configuration (Sections 4.5/6.3)",
+)
+def _build_random_multiflow(spec: ScenarioSpec) -> BuiltScenario:
+    from repro.sim.scenarios import random_multiflow_scenario
+
+    scenario = random_multiflow_scenario(
+        seed=spec.seed,
+        num_flows=spec.num_flows,
+        max_hops=spec.max_hops,
+        rate_mode=spec.rate_mode,  # type: ignore[arg-type]
+        transport=spec.transport,  # type: ignore[arg-type]
+        run_seed=spec.run_seed,
+    )
+    return BuiltScenario(
+        name="random_multiflow",
+        spec=spec,
+        network=scenario.network,
+        flows=list(scenario.flows),
+        meta={
+            "scenario_label": scenario.name,
+            "routes": [list(route.path) for route in scenario.routes],
+        },
+    )
+
+
+@register_scenario(
+    "starvation",
+    description="two-flow upstream TCP starvation at a gateway (Figure 13)",
+)
+def _build_starvation(spec: ScenarioSpec) -> BuiltScenario:
+    from repro.sim.scenarios import starvation_scenario
+
+    scenario = starvation_scenario(
+        seed=spec.seed, data_rate_mbps=spec.data_rate_mbps, run_seed=spec.run_seed
+    )
+    return BuiltScenario(
+        name="starvation",
+        spec=spec,
+        network=scenario.network,
+        flows=[scenario.two_hop, scenario.one_hop],
+        meta={"two_hop": scenario.two_hop.flow_id, "one_hop": scenario.one_hop.flow_id},
+    )

@@ -1,0 +1,414 @@
+"""Frozen, serializable experiment specifications.
+
+The declarative front door to the reproduction: an experiment is fully
+described by a tree of frozen dataclasses —
+
+* :class:`TopologySpec` — where the nodes are (chain, grid, the 18-node
+  testbed, or explicit positions);
+* :class:`RadioSpec` — transmit power, carrier-sense threshold and PHY
+  rates shared by every node;
+* :class:`FlowSpec` — one traffic flow (transport, route, shaping);
+* :class:`ProbingSpec` — the broadcast probing system and its warmup;
+* :class:`ControllerSpec` — the online optimizer (alpha-fair objective,
+  probing window, interference model), or disabled for the paper's
+  ``noRC`` baselines;
+* :class:`ScenarioSpec` — a named, registered scenario (see
+  :mod:`repro.experiment.registry`) plus the knobs its builder reads;
+* :class:`ExperimentSpec` — scenario + probing + controller + the
+  warmup/cycle/measure schedule.
+
+Every spec validates its fields on construction (raising
+:class:`SpecError`) and round-trips through ``to_dict``/``from_dict``,
+which is what the parallel :class:`repro.experiment.batch.BatchRunner`
+ships across process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from repro.core.utility import AlphaFairUtility
+from repro.phy.radio import RATE_TABLE, RadioConfig, rate_from_mbps
+
+
+class SpecError(ValueError):
+    """Raised when an experiment specification is invalid."""
+
+
+Positions = dict[int, tuple[float, float]]
+
+TOPOLOGY_KINDS = ("chain", "grid", "testbed", "positions")
+TRANSPORTS = ("udp", "tcp")
+RATE_MODES = ("1", "11", "mixed")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+def _jsonify(value: Any) -> Any:
+    if isinstance(value, (tuple, list)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _jsonify(item) for key, item in value.items()}
+    return value
+
+
+def _spec_to_dict(spec: Any) -> dict[str, Any]:
+    """``dataclasses.asdict`` with tuples converted to lists, so payloads
+    are stable under a JSON round-trip (``d == json.loads(json.dumps(d))``)."""
+    return _jsonify(asdict(spec))
+
+
+def _filter_kwargs(cls: type, data: Mapping[str, Any]) -> dict[str, Any]:
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise SpecError(f"{cls.__name__}: unknown fields {sorted(unknown)}")
+    return dict(data)
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TopologySpec:
+    """Node placement for a scenario.
+
+    Attributes:
+        kind: ``"chain"``, ``"grid"``, ``"testbed"`` or ``"positions"``.
+        num_nodes: chain length (``kind="chain"``).
+        rows / cols: grid dimensions (``kind="grid"``).
+        spacing_m: inter-node spacing for chains and grids.
+        jitter_m: placement jitter for the testbed layout.
+        positions: explicit ``(node_id, x, y)`` triples
+            (``kind="positions"``).
+    """
+
+    kind: str = "chain"
+    num_nodes: int = 3
+    rows: int = 2
+    cols: int = 2
+    spacing_m: float = 60.0
+    jitter_m: float = 6.0
+    positions: tuple[tuple[int, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(self.kind in TOPOLOGY_KINDS,
+                 f"topology kind must be one of {TOPOLOGY_KINDS}, got {self.kind!r}")
+        _require(self.spacing_m > 0, "spacing_m must be positive")
+        if self.kind == "chain":
+            _require(self.num_nodes >= 2, "a chain needs at least two nodes")
+        if self.kind == "grid":
+            _require(self.rows >= 1 and self.cols >= 1, "grid dimensions must be positive")
+        if self.kind == "positions":
+            _require(len(self.positions) >= 2, "explicit topologies need at least two nodes")
+            ids = [int(p[0]) for p in self.positions]
+            _require(len(ids) == len(set(ids)), "duplicate node ids in positions")
+
+    def build(self, seed: int = 0) -> Positions:
+        """Materialize the node id -> (x, y) placement map."""
+        from repro.sim.topology import chain_topology, grid_topology, testbed_positions
+
+        if self.kind == "chain":
+            return chain_topology(self.num_nodes, spacing_m=self.spacing_m)
+        if self.kind == "grid":
+            return grid_topology(self.rows, self.cols, spacing_m=self.spacing_m)
+        if self.kind == "testbed":
+            return testbed_positions(seed=seed, jitter_m=self.jitter_m)
+        return {int(node): (float(x), float(y)) for node, x, y in self.positions}
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        kwargs = _filter_kwargs(cls, data)
+        if "positions" in kwargs:
+            kwargs["positions"] = tuple(
+                (int(n), float(x), float(y)) for n, x, y in kwargs["positions"]
+            )
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Radio
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RadioSpec:
+    """Radio configuration shared by all nodes (see :class:`RadioConfig`)."""
+
+    tx_power_dbm: float = 19.0
+    cs_threshold_dbm: float = -91.0
+    antenna_gain_dbi: float = 5.0
+    data_rate_mbps: float = 11.0
+    basic_rate_mbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("data_rate_mbps", "basic_rate_mbps"):
+            value = getattr(self, name)
+            _require(value in RATE_TABLE,
+                     f"{name} must be one of {sorted(RATE_TABLE)}, got {value!r}")
+
+    def build(self) -> RadioConfig:
+        return RadioConfig(
+            tx_power_dbm=self.tx_power_dbm,
+            cs_threshold_dbm=self.cs_threshold_dbm,
+            antenna_gain_dbi=self.antenna_gain_dbi,
+            data_rate=rate_from_mbps(self.data_rate_mbps),
+            basic_rate=rate_from_mbps(self.basic_rate_mbps),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadioSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+# ---------------------------------------------------------------------------
+# Flows
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlowSpec:
+    """One traffic flow: transport, explicit route and shaping parameters.
+
+    ``rate_bps`` follows :meth:`MeshNetwork.add_udp_flow` semantics:
+    ``None`` (the default) is a backlogged/saturating source, a positive
+    value is a CBR source at that rate, and ``0.0`` starts the flow idle
+    until the controller programs it.  TCP flows are window-limited and
+    ignore ``rate_bps``.
+    """
+
+    transport: str = "udp"
+    path: tuple[int, ...] = ()
+    rate_bps: float | None = None
+    payload_bytes: int = 1470
+    mss_bytes: int = 1460
+
+    def __post_init__(self) -> None:
+        _require(self.transport in TRANSPORTS,
+                 f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
+        _require(len(self.path) >= 2, "a flow path needs at least two nodes")
+        _require(len(set(self.path)) == len(self.path), "flow path revisits a node")
+        _require(self.rate_bps is None or self.rate_bps >= 0,
+                 "rate_bps must be None (backlogged) or non-negative")
+        _require(self.payload_bytes > 0 and self.mss_bytes > 0,
+                 "payload_bytes and mss_bytes must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlowSpec":
+        kwargs = _filter_kwargs(cls, data)
+        if "path" in kwargs:
+            kwargs["path"] = tuple(int(n) for n in kwargs["path"])
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Probing
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProbingSpec:
+    """Broadcast probing system settings plus the measurement warmup."""
+
+    period_s: float = 0.5
+    data_probe_bytes: int = 1500
+    warmup_s: float = 45.0
+
+    def __post_init__(self) -> None:
+        _require(self.period_s > 0, "period_s must be positive")
+        _require(self.data_probe_bytes > 0, "data_probe_bytes must be positive")
+        _require(self.warmup_s >= 0, "warmup_s must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProbingSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+# ---------------------------------------------------------------------------
+# Controller
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ControllerSpec:
+    """The online optimization loop, or disabled for a noRC baseline.
+
+    ``alpha`` selects the alpha-fair objective: 0 is the paper's TCP-Max,
+    1 is proportional fairness (TCP-Prop).
+    """
+
+    enabled: bool = True
+    alpha: float = 1.0
+    probing_window: int = 120
+    payload_bytes: int = 1470
+    interference: str = "two_hop"
+    connectivity_threshold: float = 0.5
+    min_probes_for_estimator: int = 40
+
+    def __post_init__(self) -> None:
+        _require(self.alpha >= 0, "alpha must be non-negative")
+        _require(self.probing_window >= 1, "probing_window must be at least 1")
+        _require(self.payload_bytes > 0, "payload_bytes must be positive")
+        _require(self.interference == "two_hop",
+                 f"interference must be 'two_hop', got {self.interference!r}")
+        _require(0.0 < self.connectivity_threshold <= 1.0,
+                 "connectivity_threshold must lie in (0, 1]")
+        _require(self.min_probes_for_estimator >= 1,
+                 "min_probes_for_estimator must be at least 1")
+
+    @property
+    def utility(self) -> AlphaFairUtility:
+        return AlphaFairUtility(alpha=self.alpha)
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ControllerSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+#: Convenience baseline: no rate control at all (the paper's ``noRC``).
+NO_RATE_CONTROL = ControllerSpec(enabled=False)
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named scenario plus the knobs its registered builder reads.
+
+    ``scenario`` is a key in the scenario registry
+    (:func:`repro.experiment.registry.register_scenario`); the built-in
+    names are ``"chain"``, ``"testbed"``, ``"random_multiflow"`` and
+    ``"starvation"``.  ``seed`` fixes topology and shadowing; ``run_seed``
+    (defaulting to ``seed``) re-seeds only traffic/backoff randomness so
+    one physical configuration can be re-run independently.
+
+    Not every field is read by every builder — e.g. ``rate_mode`` and
+    ``num_flows`` only matter to ``random_multiflow``, and ``topology`` /
+    ``radio`` / ``flows`` are ignored by ``starvation``, which fixes its
+    own three-node gateway chain.
+    """
+
+    scenario: str = "chain"
+    seed: int = 0
+    run_seed: int | None = None
+    data_rate_mbps: float = 11.0
+    shadowing_sigma_db: float | None = None
+    topology: TopologySpec | None = None
+    radio: RadioSpec | None = None
+    flows: tuple[FlowSpec, ...] = ()
+    num_flows: int = 4
+    max_hops: int = 4
+    rate_mode: str = "mixed"
+    transport: str = "udp"
+
+    def __post_init__(self) -> None:
+        _require(bool(self.scenario), "scenario name must be non-empty")
+        _require(self.seed >= 0, "seed must be non-negative")
+        _require(self.run_seed is None or self.run_seed >= 0,
+                 "run_seed must be non-negative")
+        _require(self.data_rate_mbps in RATE_TABLE,
+                 f"data_rate_mbps must be one of {sorted(RATE_TABLE)}")
+        _require(self.shadowing_sigma_db is None or self.shadowing_sigma_db >= 0,
+                 "shadowing_sigma_db must be non-negative")
+        _require(self.num_flows >= 1, "num_flows must be at least 1")
+        _require(self.max_hops >= 1, "max_hops must be at least 1")
+        _require(self.rate_mode in RATE_MODES,
+                 f"rate_mode must be one of {RATE_MODES}, got {self.rate_mode!r}")
+        _require(self.transport in TRANSPORTS,
+                 f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
+
+    def with_seed(self, seed: int, run_seed: int | None = None) -> "ScenarioSpec":
+        """The same scenario re-seeded (used by batch seed sweeps)."""
+        return replace(self, seed=seed, run_seed=run_seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = _spec_to_dict(self)
+        data["topology"] = self.topology.to_dict() if self.topology else None
+        data["radio"] = self.radio.to_dict() if self.radio else None
+        data["flows"] = [flow.to_dict() for flow in self.flows]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        kwargs = _filter_kwargs(cls, data)
+        if kwargs.get("topology") is not None:
+            kwargs["topology"] = TopologySpec.from_dict(kwargs["topology"])
+        if kwargs.get("radio") is not None:
+            kwargs["radio"] = RadioSpec.from_dict(kwargs["radio"])
+        if "flows" in kwargs:
+            kwargs["flows"] = tuple(FlowSpec.from_dict(f) for f in kwargs["flows"])
+        return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Experiment
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, runnable experiment.
+
+    Schedule: probing warms up for ``probing.warmup_s`` of virtual time
+    (skipped when the controller is disabled — a noRC baseline measures
+    raw 802.11, with no probe traffic on the air), then flows start and
+    ``cycles`` optimization/measurement rounds run, each
+    ``cycle_measure_s`` long with the first ``settle_s`` seconds excluded
+    from throughput accounting.
+    """
+
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
+    probing: ProbingSpec = field(default_factory=ProbingSpec)
+    controller: ControllerSpec = field(default_factory=ControllerSpec)
+    cycles: int = 1
+    cycle_measure_s: float = 10.0
+    settle_s: float = 2.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.cycles >= 1, "cycles must be at least 1")
+        _require(self.cycle_measure_s > 0, "cycle_measure_s must be positive")
+        _require(0 <= self.settle_s < self.cycle_measure_s,
+                 "settle_s must be non-negative and shorter than cycle_measure_s")
+
+    def with_seed(self, seed: int, run_seed: int | None = None) -> "ExperimentSpec":
+        """The same experiment on a re-seeded scenario."""
+        return replace(self, scenario=self.scenario.with_seed(seed, run_seed))
+
+    def describe(self) -> str:
+        controller = (self.controller.utility.describe()
+                      if self.controller.enabled else "no rate control")
+        return (f"{self.label or self.scenario.scenario}"
+                f" [seed={self.scenario.seed}, {controller}, {self.cycles} cycle(s)]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "probing": self.probing.to_dict(),
+            "controller": self.controller.to_dict(),
+            "cycles": self.cycles,
+            "cycle_measure_s": self.cycle_measure_s,
+            "settle_s": self.settle_s,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        kwargs = _filter_kwargs(cls, data)
+        if "scenario" in kwargs:
+            kwargs["scenario"] = ScenarioSpec.from_dict(kwargs["scenario"])
+        if "probing" in kwargs:
+            kwargs["probing"] = ProbingSpec.from_dict(kwargs["probing"])
+        if "controller" in kwargs:
+            kwargs["controller"] = ControllerSpec.from_dict(kwargs["controller"])
+        return cls(**kwargs)

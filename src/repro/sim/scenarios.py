@@ -251,20 +251,24 @@ class StarvationScenario:
         return [self.two_hop, self.one_hop]
 
 
-def starvation_scenario(seed: int = 0, data_rate_mbps: float = 1) -> StarvationScenario:
+def starvation_scenario(
+    seed: int = 0, data_rate_mbps: float = 1, run_seed: int | None = None
+) -> StarvationScenario:
     """One 2-hop and one 1-hop TCP flow sending upstream to a gateway.
 
     Node 2 is the gateway; node 0 reaches it via relay node 1.  The radio
     uses :func:`hidden_terminal_radio`, so node 0 and the gateway do not
     sense each other and the 2-hop flow's ACKs collide with the 1-hop
-    flow's data at the relay.
+    flow's data at the relay.  The topology is fixed; ``run_seed``
+    (defaulting to ``seed``) re-seeds the traffic/backoff randomness for
+    independent repeated runs.
     """
     from repro.sim.topology import no_shadowing_propagation
 
     positions = chain_topology(3, spacing_m=62.0)
     network = MeshNetwork(
         positions,
-        seed=seed,
+        seed=seed if run_seed is None else run_seed,
         radio=hidden_terminal_radio(data_rate_mbps),
         propagation=no_shadowing_propagation(),
         data_rate_mbps=data_rate_mbps,

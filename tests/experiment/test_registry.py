@@ -1,0 +1,134 @@
+"""Scenario registry: discovery, building, custom registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiment import (
+    FlowSpec,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+    build_scenario,
+    register_scenario,
+    scenario_description,
+    scenario_names,
+)
+from repro.experiment.registry import BuiltScenario
+from repro.sim.network import TcpFlowHandle, UdpFlowHandle
+
+BUILTIN_SCENARIOS = ["chain", "random_multiflow", "starvation", "testbed"]
+
+
+class TestDiscovery:
+    def test_all_builtins_registered(self):
+        assert set(BUILTIN_SCENARIOS) <= set(scenario_names())
+
+    def test_every_builtin_has_a_description(self):
+        for name in BUILTIN_SCENARIOS:
+            assert scenario_description(name)
+
+    def test_unknown_scenario_raises_spec_error(self):
+        with pytest.raises(SpecError, match="unknown scenario"):
+            build_scenario(ScenarioSpec(scenario="no-such-scenario"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("chain")(lambda spec: None)
+
+
+class TestBuiltinBuilders:
+    def test_chain_default_flow_spans_the_chain(self):
+        built = build_scenario(
+            ScenarioSpec(scenario="chain", topology=TopologySpec(kind="chain", num_nodes=4))
+        )
+        assert len(built.network.nodes) == 4
+        assert len(built.flows) == 1
+        assert built.flows[0].path == [0, 1, 2, 3]
+
+    def test_chain_explicit_flows(self):
+        built = build_scenario(
+            ScenarioSpec(
+                scenario="chain",
+                flows=(FlowSpec("udp", (0, 1, 2)), FlowSpec("tcp", (1, 2))),
+            )
+        )
+        assert isinstance(built.flows[0], UdpFlowHandle)
+        assert isinstance(built.flows[1], TcpFlowHandle)
+        assert built.links == [(0, 1), (1, 2)]
+
+    def test_testbed_requires_explicit_flows(self):
+        with pytest.raises(SpecError, match="explicit FlowSpecs"):
+            build_scenario(ScenarioSpec(scenario="testbed"))
+
+    def test_testbed_builds_18_nodes(self):
+        built = build_scenario(
+            ScenarioSpec(scenario="testbed", flows=(FlowSpec("udp", (0, 1)),))
+        )
+        assert len(built.network.nodes) == 18
+
+    def test_random_multiflow_builds_requested_flows(self):
+        built = build_scenario(
+            ScenarioSpec(scenario="random_multiflow", seed=7, num_flows=3, rate_mode="11")
+        )
+        assert len(built.flows) == 3
+        assert "scenario_label" in built.meta
+
+    def test_starvation_flow_geometry(self):
+        built = build_scenario(ScenarioSpec(scenario="starvation", data_rate_mbps=1))
+        assert [flow.path for flow in built.flows] == [[0, 1, 2], [1, 2]]
+        assert built.meta["two_hop"] == built.flows[0].flow_id
+
+    def test_starvation_honors_run_seed(self):
+        spec = ScenarioSpec(scenario="starvation", seed=0, run_seed=77, data_rate_mbps=1)
+        built = build_scenario(spec)
+        assert built.network.sim.seed == 77
+        # Topology stays pinned to the fixed gateway chain regardless.
+        base = build_scenario(ScenarioSpec(scenario="starvation", data_rate_mbps=1))
+        assert built.network.positions == base.network.positions
+
+    def test_meta_is_json_serializable(self):
+        import json
+
+        for spec in (
+            ScenarioSpec(scenario="random_multiflow", seed=7, num_flows=2),
+            ScenarioSpec(scenario="starvation", data_rate_mbps=1),
+        ):
+            json.dumps(build_scenario(spec).meta)
+
+    def test_same_spec_builds_identical_networks(self):
+        spec = ScenarioSpec(scenario="random_multiflow", seed=11, num_flows=2)
+        a, b = build_scenario(spec), build_scenario(spec)
+        assert [f.path for f in a.flows] == [f.path for f in b.flows]
+        assert a.network.positions == b.network.positions
+
+
+class TestCustomRegistration:
+    def test_registered_builder_is_discoverable_and_buildable(self):
+        name = "test-only-two-node"
+
+        @register_scenario(name, description="two nodes, one UDP flow")
+        def _build(spec: ScenarioSpec) -> BuiltScenario:
+            from repro.sim.network import MeshNetwork
+            from repro.sim.topology import no_shadowing_propagation
+
+            network = MeshNetwork(
+                {0: (0.0, 0.0), 1: (50.0, 0.0)},
+                seed=spec.seed,
+                propagation=no_shadowing_propagation(),
+            )
+            return BuiltScenario(
+                name=name,
+                spec=spec,
+                network=network,
+                flows=[network.add_udp_flow([0, 1])],
+            )
+
+        try:
+            assert name in scenario_names()
+            built = build_scenario(ScenarioSpec(scenario=name, seed=2))
+            assert built.flows[0].path == [0, 1]
+        finally:
+            from repro.experiment import registry
+
+            registry._SCENARIOS.pop(name, None)

@@ -1,0 +1,146 @@
+"""Spec layer: validation, round-tripping and materialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiment import (
+    ControllerSpec,
+    ExperimentSpec,
+    FlowSpec,
+    ProbingSpec,
+    RadioSpec,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+)
+from repro.phy.radio import RATE_11MBPS
+
+
+class TestValidation:
+    def test_bad_topology_kind_rejected(self):
+        with pytest.raises(SpecError):
+            TopologySpec(kind="torus")
+
+    def test_chain_needs_two_nodes(self):
+        with pytest.raises(SpecError):
+            TopologySpec(kind="chain", num_nodes=1)
+
+    def test_positions_need_unique_ids(self):
+        with pytest.raises(SpecError):
+            TopologySpec(kind="positions", positions=((0, 0.0, 0.0), (0, 1.0, 1.0)))
+
+    def test_unsupported_phy_rate_rejected(self):
+        with pytest.raises(SpecError):
+            RadioSpec(data_rate_mbps=54.0)
+
+    def test_flow_path_too_short(self):
+        with pytest.raises(SpecError):
+            FlowSpec("udp", (3,))
+
+    def test_flow_path_with_loop_rejected(self):
+        with pytest.raises(SpecError):
+            FlowSpec("udp", (0, 1, 0))
+
+    def test_bad_transport_rejected(self):
+        with pytest.raises(SpecError):
+            FlowSpec("sctp", (0, 1))
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SpecError):
+            ProbingSpec(warmup_s=-1.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(SpecError):
+            ControllerSpec(alpha=-0.5)
+
+    def test_bad_rate_mode_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec(rate_mode="5.5")
+
+    def test_settle_must_fit_in_measure_window(self):
+        with pytest.raises(SpecError):
+            ExperimentSpec(cycle_measure_s=5.0, settle_s=5.0)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(SpecError):
+            ExperimentSpec(cycles=0)
+
+
+class TestRoundTrip:
+    def _full_spec(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            scenario=ScenarioSpec(
+                scenario="testbed",
+                seed=3,
+                run_seed=17,
+                data_rate_mbps=1,
+                shadowing_sigma_db=4.0,
+                topology=TopologySpec(kind="grid", rows=2, cols=3, spacing_m=45.0),
+                radio=RadioSpec(tx_power_dbm=15.0, cs_threshold_dbm=-85.0),
+                flows=(
+                    FlowSpec("udp", (0, 1, 2), rate_bps=250e3),
+                    FlowSpec("tcp", (4, 3), mss_bytes=512),
+                ),
+                transport="tcp",
+            ),
+            probing=ProbingSpec(period_s=0.25, warmup_s=30.0),
+            controller=ControllerSpec(alpha=2.0, probing_window=64),
+            cycles=2,
+            cycle_measure_s=8.0,
+            settle_s=1.0,
+            label="round-trip",
+        )
+
+    def test_experiment_spec_round_trips(self):
+        spec = self._full_spec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_stable(self):
+        import json
+
+        payload = self._full_spec().to_dict()
+        assert json.loads(json.dumps(payload)) == payload  # no tuples survive
+        assert ExperimentSpec.from_dict(json.loads(json.dumps(payload))) == self._full_spec()
+
+    def test_sub_specs_round_trip(self):
+        for spec in (
+            TopologySpec(kind="positions", positions=((0, 0.0, 0.0), (1, 50.0, 0.0))),
+            RadioSpec(basic_rate_mbps=2),
+            FlowSpec("tcp", (5, 6, 7)),
+            ProbingSpec(data_probe_bytes=1000),
+            ControllerSpec(enabled=False),
+            ScenarioSpec(scenario="starvation", seed=9, data_rate_mbps=1),
+        ):
+            assert type(spec).from_dict(spec.to_dict()) == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SpecError):
+            ProbingSpec.from_dict({"period_s": 0.5, "warmupp": 3})
+
+
+class TestMaterialization:
+    def test_topology_builds_expected_shapes(self):
+        assert len(TopologySpec(kind="chain", num_nodes=5).build()) == 5
+        assert len(TopologySpec(kind="grid", rows=2, cols=3).build()) == 6
+        assert len(TopologySpec(kind="testbed").build(seed=1)) == 18
+        explicit = TopologySpec(
+            kind="positions", positions=((0, 0.0, 0.0), (4, 10.0, 5.0))
+        ).build()
+        assert explicit == {0: (0.0, 0.0), 4: (10.0, 5.0)}
+
+    def test_radio_spec_builds_radio_config(self):
+        config = RadioSpec(cs_threshold_dbm=-80.0, data_rate_mbps=11).build()
+        assert config.cs_threshold_dbm == -80.0
+        assert config.data_rate is RATE_11MBPS
+
+    def test_controller_spec_utility(self):
+        assert ControllerSpec(alpha=1.0).utility.is_proportional_fair
+        assert ControllerSpec(alpha=0.0).utility.is_throughput_maximising
+
+    def test_with_seed_re_seeds_scenario(self):
+        spec = ExperimentSpec(scenario=ScenarioSpec(scenario="chain", seed=1))
+        reseeded = spec.with_seed(9, run_seed=42)
+        assert reseeded.scenario.seed == 9
+        assert reseeded.scenario.run_seed == 42
+        assert spec.scenario.seed == 1  # original untouched

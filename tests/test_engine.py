@@ -1,9 +1,10 @@
 """Tests for the discrete-event simulation kernel."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.engine import Simulator
+from repro.engine import Simulator, rng_spawn_key
 
 
 class TestScheduling:
@@ -113,3 +114,21 @@ class TestRngStreams:
     def test_same_stream_returned_on_repeat_lookup(self):
         sim = Simulator(seed=5)
         assert sim.rng_stream("x") is sim.rng_stream("x")
+
+    def test_spawn_key_is_hash_seed_independent(self):
+        """Stream seeding must not depend on PYTHONHASHSEED.
+
+        The spawn key is a CRC32 of the stream name — these constants
+        pin the exact values so that runs agree across interpreter
+        processes (required for the parallel batch runner).
+        """
+        assert rng_spawn_key("medium") == 3329443255
+        assert rng_spawn_key("mac-1") == 528481067
+        assert rng_spawn_key("") == 0
+
+    def test_stream_draws_match_pinned_seed_sequence(self):
+        stream = Simulator(seed=5).rng_stream("medium")
+        reference = np.random.default_rng(
+            np.random.SeedSequence(entropy=5, spawn_key=(3329443255,))
+        )
+        assert list(stream.random(4)) == list(reference.random(4))
