@@ -21,6 +21,34 @@ def run_once(benchmark, func):
     return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
 
 
+def run_cold_then_warm(benchmark, func, cache):
+    """Benchmark ``func`` once cold (populating ``cache``), re-run it warm,
+    and record the cache speedup in the benchmark's ``extra_info``.
+
+    The cold run is what pytest-benchmark times (so figure timings stay
+    comparable with earlier BENCH_*.json records); the warm run re-executes
+    the identical sweep against the now-populated cache.  Returns
+    ``(cold, warm, cold_wall_s, warm_wall_s)`` so callers can assert the
+    two runs are bit-identical.
+    """
+    import time
+
+    start = time.perf_counter()
+    cold = run_once(benchmark, func)
+    cold_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = func()
+    warm_wall_s = time.perf_counter() - start
+    benchmark.extra_info["result_cache"] = {
+        "cold_wall_s": round(cold_wall_s, 3),
+        "warm_wall_s": round(warm_wall_s, 3),
+        "warm_speedup": round(cold_wall_s / max(warm_wall_s, 1e-9), 1),
+        **{k: round(v, 3) if isinstance(v, float) else v
+           for k, v in cache.stats.as_dict().items()},
+    }
+    return cold, warm, cold_wall_s, warm_wall_s
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Re-print every emitted paper-vs-measured report after the run.
 

@@ -8,17 +8,27 @@ at some cost in aggregate throughput; rate control also stabilises both
 flows.
 
 The three variants are declared as :class:`ExperimentSpec`s over the
-registered ``starvation`` scenario and executed by the batch runner.
+registered ``starvation`` scenario and executed by the batch runner —
+twice: once cold through a fresh :class:`ResultCache` and once warm, so
+the benchmark records the cache hit-rate and the warm-vs-cold wall
+clock alongside the figure itself.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import BatchRunner, ControllerSpec, ExperimentSpec, ProbingSpec, ScenarioSpec
+from repro import (
+    BatchRunner,
+    ControllerSpec,
+    ExperimentSpec,
+    ProbingSpec,
+    ResultCache,
+    ScenarioSpec,
+)
 from repro.analysis import ExperimentReport, format_table, jain_fairness_index
 
-from conftest import run_once
+from conftest import run_cold_then_warm
 
 PROBE_WARMUP_S = 50.0
 MEASURE_S = 20.0
@@ -43,13 +53,13 @@ def _spec(name: str, controller: ControllerSpec, seed: int) -> ExperimentSpec:
     )
 
 
-def _run_all():
+def _run_all(cache):
     specs = [
         _spec(name, controller, seed)
         for name, controller in VARIANTS.items()
         for seed in range(RUNS_PER_VARIANT)
     ]
-    batch = BatchRunner(specs, parallel=False).run()
+    batch = BatchRunner(specs, parallel=False, cache=cache).run()
     results: dict[str, list[tuple[float, float]]] = {}
     for spec, result in zip(specs, batch):
         two_hop, one_hop = result.meta["two_hop"], result.meta["one_hop"]
@@ -57,12 +67,25 @@ def _run_all():
         results.setdefault(spec.label, []).append(
             (throughputs[two_hop], throughputs[one_hop])
         )
-    return results
+    return results, batch
 
 
-def test_fig13_tcp_starvation(benchmark):
-    results = run_once(benchmark, _run_all)
+def test_fig13_tcp_starvation(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cold, warm, cold_s, warm_s = run_cold_then_warm(
+        benchmark, lambda: _run_all(cache), cache
+    )
+    results, cold_batch = cold
+    _, warm_batch = warm
+    # A warm sweep is served entirely from the cache, bit-identically.
+    assert warm_batch.cache_hits == len(warm_batch)
+    assert warm_batch.to_dicts() == cold_batch.to_dicts()
     report = ExperimentReport("Figure 13", "upstream TCP starvation with and without rate control")
+    report.add(
+        f"result cache: cold {cold_s:.1f} s -> warm {warm_s:.2f} s "
+        f"({cold_s / max(warm_s, 1e-9):.0f}x), "
+        f"warm hit rate {warm_batch.cache_hit_rate:.0%} of {len(warm_batch)} cells"
+    )
     rows = []
     summary = {}
     for name, runs in results.items():

@@ -6,12 +6,17 @@ testbed and lets the :class:`repro.Experiment` runner drive the
 probing/estimation/optimization/rate-control loop for several control
 cycles — the operational mode of Section 6 of the paper.  A multi-seed
 :class:`repro.BatchRunner` sweep of the same experiment follows, showing
-how a whole evaluation matrix is enumerated from one spec.
+how a whole evaluation matrix is enumerated from one spec — and then the
+same sweep again through a :class:`repro.ResultCache`, where every cell
+is a content-addressed lookup and no worker process is spawned.
 
 Run with:  python examples/online_controller_demo.py
 """
 
 from __future__ import annotations
+
+import tempfile
+import time
 
 from repro import (
     BatchRunner,
@@ -19,6 +24,7 @@ from repro import (
     Experiment,
     ExperimentSpec,
     ProbingSpec,
+    ResultCache,
     ScenarioSpec,
     seed_sweep,
 )
@@ -67,9 +73,26 @@ def main() -> None:
         )
 
     # The same experiment as a 3-seed sweep: one spec, a whole matrix.
+    # Attaching a ResultCache makes repeated sweeps content-addressed
+    # lookups: the warm run below simulates nothing and spawns no workers.
     print("\nsweeping the same experiment across 3 scenario seeds...")
-    batch = BatchRunner(seed_sweep(SPEC, [7, 8, 9])).run()
-    print(batch.report("online-controller seed sweep").render())
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        sweep = seed_sweep(SPEC, [7, 8, 9])
+        start = time.perf_counter()
+        batch = BatchRunner(sweep, cache=cache).run()
+        cold_s = time.perf_counter() - start
+        print(batch.report("online-controller seed sweep").render())
+
+        start = time.perf_counter()
+        warm = BatchRunner(sweep, cache=cache).run()
+        warm_s = time.perf_counter() - start
+        assert warm.to_dicts() == batch.to_dicts()
+        print(
+            f"\nwarm re-sweep: {warm.cache_hits}/{len(warm)} cells from cache, "
+            f"bit-identical, {cold_s:.1f} s -> {warm_s:.2f} s "
+            f"({cold_s / max(warm_s, 1e-9):.0f}x)"
+        )
 
 
 if __name__ == "__main__":

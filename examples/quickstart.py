@@ -5,13 +5,27 @@ Declares a three-node chain scenario with a 2-hop and a 1-hop UDP flow,
 runs it through the :class:`repro.Experiment` runner (probe warmup, one
 online optimization cycle, measurement) and prints the typed results:
 per-link online estimates, optimized rates and achieved throughput.
+Finishes by re-running the identical spec through a
+:class:`repro.ResultCache`, where the second run is a content-addressed
+lookup instead of a simulation.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import ControllerSpec, Experiment, ExperimentSpec, FlowSpec, ProbingSpec, ScenarioSpec
+import tempfile
+import time
+
+from repro import (
+    ControllerSpec,
+    Experiment,
+    ExperimentSpec,
+    FlowSpec,
+    ProbingSpec,
+    ResultCache,
+    ScenarioSpec,
+)
 
 
 def main() -> None:
@@ -65,6 +79,24 @@ def main() -> None:
         f"Jain fairness index {result.jain_index:.3f}, "
         f"{result.events_processed} simulator events in {result.wall_time_s:.2f} s"
     )
+
+    # 6. Results are content-addressed by their spec: store the run we
+    #    already have and re-running the same experiment becomes a cache
+    #    lookup instead of a simulation (set REPRO_CACHE_DIR to enable
+    #    this everywhere by default).
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        cache.put(result)
+        start = time.perf_counter()
+        cached = Experiment(spec, keep_decisions=False).run(cache=cache)
+        lookup_s = time.perf_counter() - start
+        assert cached.to_dict(include_runtime=False) == result.to_dict(
+            include_runtime=False
+        )
+        print(
+            f"\ncached re-run: bit-identical result in {1e3 * lookup_s:.1f} ms "
+            f"(cache hit rate {cache.stats.hit_rate:.0%})"
+        )
 
 
 if __name__ == "__main__":

@@ -41,6 +41,16 @@ Sweep seeds in parallel (results are bit-identical to sequential runs)::
     batch = BatchRunner(seed_sweep(spec, range(4))).run()
     print(batch.report().render())
 
+Cache results on disk so repeated sweep cells skip the simulation
+(:class:`repro.ResultCache` keys on a content digest of the spec;
+exporting ``REPRO_CACHE_DIR`` enables it everywhere by default)::
+
+    from repro import ResultCache
+
+    cache = ResultCache("~/.cache/repro-mesh")
+    warm = BatchRunner(seed_sweep(spec, range(4)), cache=cache).run()
+    print(warm.cache_hits, cache.stats.hit_rate)
+
 The original imperative path still works — build a
 :class:`repro.sim.MeshNetwork`, add flows, enable probing and drive a
 :class:`repro.core.OnlineOptimizer` by hand — and is what the spec layer
@@ -50,6 +60,7 @@ is built on.
 from repro.experiment import (
     BatchResult,
     BatchRunner,
+    CacheStats,
     ControllerSpec,
     CycleResult,
     Experiment,
@@ -59,18 +70,21 @@ from repro.experiment import (
     NO_RATE_CONTROL,
     ProbingSpec,
     RadioSpec,
+    ResultCache,
     ScenarioSpec,
     SpecError,
     TopologySpec,
     build_scenario,
+    default_cache,
     register_scenario,
     run_experiment,
     scenario_description,
     scenario_names,
     seed_sweep,
+    spec_digest,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "phy",
@@ -83,6 +97,7 @@ __all__ = [
     "experiment",
     "BatchResult",
     "BatchRunner",
+    "CacheStats",
     "ControllerSpec",
     "CycleResult",
     "Experiment",
@@ -92,14 +107,17 @@ __all__ = [
     "NO_RATE_CONTROL",
     "ProbingSpec",
     "RadioSpec",
+    "ResultCache",
     "ScenarioSpec",
     "SpecError",
     "TopologySpec",
     "build_scenario",
+    "default_cache",
     "register_scenario",
     "run_experiment",
     "scenario_description",
     "scenario_names",
     "seed_sweep",
+    "spec_digest",
     "__version__",
 ]

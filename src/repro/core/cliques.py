@@ -1,11 +1,13 @@
-"""Maximal clique / maximal independent set enumeration.
+"""Maximal clique / maximal independent set enumeration (Section 3.2).
 
-The secondary extreme points of the feasibility model are built from the
-maximal independent sets of the link conflict graph (Section 3.2).  The
-paper uses the Makino–Uno enumeration algorithm; we implement the
-classical Bron–Kerbosch algorithm with pivoting, which enumerates the
-same family of sets and is more than fast enough for mesh-sized conflict
-graphs (the paper's worst case was ~200 extreme points).
+Implements the combinatorial step behind Eq. (4) of the paper: the
+secondary extreme points of the feasibility model are one per *maximal
+independent set* of the link conflict graph — the largest sets of links
+that can transmit simultaneously.  The paper uses the Makino–Uno
+enumeration algorithm; we implement the classical Bron–Kerbosch
+algorithm with pivoting, which enumerates the same family of sets and
+is more than fast enough for mesh-sized conflict graphs (the paper's
+worst case was ~200 extreme points).
 
 Graphs are given as adjacency mappings ``vertex -> set of neighbours``;
 helpers convert to/from the complement so independent sets can be

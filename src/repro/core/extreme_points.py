@@ -1,19 +1,19 @@
-"""Extreme points and the convex feasibility region (Section 3 of the paper).
+"""Extreme points and the convex feasibility region (Sections 3.1–3.2).
 
 The feasible rate region of the mesh is modeled as the set of link output
 rate vectors dominated by a convex combination of *extreme points*:
 
 * each **primary** extreme point puts one link at its capacity (its max
-  UDP throughput when transmitting alone, backlogged) and every other
-  link at zero;
+  UDP throughput when transmitting alone, backlogged — Section 3.1) and
+  every other link at zero;
 * each **secondary** extreme point corresponds to a maximal independent
-  set of the conflict graph, with every member link at its capacity
-  (Eq. 4: ``c2[m] = C1 * v[m]``).
+  set of the conflict graph (enumerated by :mod:`repro.core.cliques`),
+  with every member link at its capacity (Eq. 4: ``c2[m] = C1 * v[m]``).
 
 A rate vector ``y`` is estimated feasible when there exist convex
 weights ``alpha`` with ``sum_k alpha_k * c[k] >= y`` componentwise (the
-polytope plus free disposal).  Membership and boundary queries reduce to
-small linear programs solved with scipy.
+polytope plus free disposal).  Membership and boundary queries reduce
+to small linear programs solved with scipy.
 """
 
 from __future__ import annotations

@@ -1,7 +1,11 @@
 """Analytic FP/FN error of the binary LIR model (Section 4.4, Figure 6).
 
-Given the throughputs (c11, c22, c31, c32) of a link pair, the binary
-model either
+The binary interference model of Section 4 thresholds the link
+interference ratio ``LIR = (c31 + c32) / (c11 + c22)`` (Eq. 5, see
+:func:`repro.core.interference.link_interference_ratio`) to decide
+which two-link region of Section 3.1 applies.  This module
+quantifies what that coarsening costs.  Given the throughputs
+(c11, c22, c31, c32) of a link pair, the binary model either
 
 * classifies the pair **interfering** (``LIR < threshold``) and uses the
   time-sharing region, committing a false-negative error equal to the

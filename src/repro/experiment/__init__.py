@@ -12,10 +12,21 @@ This package is the canonical public entry point to the reproduction:
   :class:`ExperimentResult`;
 * :mod:`repro.experiment.batch` — :class:`BatchRunner`, a multi-seed /
   multi-scenario sweep with process parallelism whose results are
-  bit-identical to a sequential run.
+  bit-identical to a sequential run;
+* :mod:`repro.experiment.cache` — :class:`ResultCache`, a
+  content-addressed on-disk cache of result payloads keyed by
+  :func:`spec_digest`, consulted by the runner and the batch runner so
+  repeated sweep cells skip the simulation (enable globally by
+  exporting ``REPRO_CACHE_DIR``).
 """
 
 from repro.experiment.batch import BatchResult, BatchRunner, seed_sweep
+from repro.experiment.cache import (
+    CacheStats,
+    ResultCache,
+    default_cache,
+    resolve_cache,
+)
 from repro.experiment.registry import (
     BuiltScenario,
     build_scenario,
@@ -31,6 +42,7 @@ from repro.experiment.runner import (
 )
 from repro.experiment.specs import (
     NO_RATE_CONTROL,
+    SPEC_SCHEMA_VERSION,
     ControllerSpec,
     ExperimentSpec,
     FlowSpec,
@@ -39,12 +51,19 @@ from repro.experiment.specs import (
     ScenarioSpec,
     SpecError,
     TopologySpec,
+    spec_digest,
 )
 
 __all__ = [
     "BatchResult",
     "BatchRunner",
     "seed_sweep",
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "resolve_cache",
+    "SPEC_SCHEMA_VERSION",
+    "spec_digest",
     "BuiltScenario",
     "build_scenario",
     "register_scenario",

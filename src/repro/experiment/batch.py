@@ -12,6 +12,13 @@ sequential path round-trips through exactly the same dict encoding,
 which is what makes parallel and sequential sweeps bit-identical (the
 simulator's RNG streams are derived from the spec seeds with stable
 CRC32 spawn keys — see :func:`repro.engine.rng_spawn_key`).
+
+With a :class:`repro.experiment.cache.ResultCache` attached (or
+``REPRO_CACHE_DIR`` exported), the parent looks every spec up *before*
+fanning out: a fully warm sweep spawns zero worker processes, misses
+still run in parallel, and their payloads are written back on
+completion — so a repeated sweep is bit-identical to the cold run while
+costing only JSON reads.
 """
 
 from __future__ import annotations
@@ -19,11 +26,14 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.analysis.reporting import ExperimentReport, batch_summary_table
 from repro.experiment.runner import Experiment, ExperimentResult
 from repro.experiment.specs import ExperimentSpec
+
+if TYPE_CHECKING:
+    from repro.experiment.cache import ResultCache
 
 
 def seed_sweep(
@@ -46,18 +56,35 @@ def seed_sweep(
 
 
 def _run_spec_payload(payload: dict[str, Any]) -> dict[str, Any]:
-    """Process-pool entry point: spec dict in, result dict out."""
+    """Process-pool entry point: spec dict in, result dict out.
+
+    Caching is disabled here even when ``REPRO_CACHE_DIR`` is set: the
+    parent already resolved lookups before fanning out and owns every
+    writeback, so workers must not contend for the cache index.
+    """
     spec = ExperimentSpec.from_dict(payload)
-    return Experiment(spec, keep_decisions=False).run().to_dict()
+    return Experiment(spec, keep_decisions=False).run(cache=False).to_dict()
 
 
 @dataclass
 class BatchResult:
-    """Results of a batch sweep, in submission order."""
+    """Results of a batch sweep, in submission order.
+
+    ``cache_hits`` / ``cache_misses`` count how many cells were served
+    from the attached :class:`ResultCache` versus simulated (both stay 0
+    when no cache was in play).
+    """
 
     results: list[ExperimentResult]
     wall_time_s: float = 0.0
     parallel: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over sweep size, 0.0 for uncached sweeps."""
+        return self.cache_hits / len(self.results) if self.results else 0.0
 
     def __iter__(self):
         return iter(self.results)
@@ -77,10 +104,11 @@ class BatchResult:
 
     def report(self, title: str = "batch sweep") -> ExperimentReport:
         """Aggregate the sweep into a :class:`repro.analysis` report."""
+        mode = "process-parallel" if self.parallel else "sequential"
+        if self.cache_hits:
+            mode += f", {self.cache_hits}/{len(self.results)} from cache"
         report = ExperimentReport(
-            title,
-            f"{len(self.results)} experiment(s), "
-            + ("process-parallel" if self.parallel else "sequential"),
+            title, f"{len(self.results)} experiment(s), {mode}"
         )
         report.add(batch_summary_table(self.results))
         return report
@@ -96,12 +124,18 @@ class BatchRunner:
         parallel: use a process pool (results are bit-identical to a
             sequential run either way).
         max_workers: process count (defaults to CPU count, capped at the
-            number of experiments).
+            number of experiments left after cache hits).
+        cache: result cache, resolved by
+            :func:`repro.experiment.cache.resolve_cache` — pass a
+            :class:`ResultCache`, ``True`` for the default cache,
+            ``False`` to force caching off; the default ``None`` uses
+            the default cache iff ``REPRO_CACHE_DIR`` is set.
     """
 
     experiments: Sequence[ExperimentSpec]
     parallel: bool = True
     max_workers: int | None = None
+    cache: "ResultCache | None | bool" = None
     _payloads: list[dict[str, Any]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -112,17 +146,50 @@ class BatchRunner:
     def run(self) -> BatchResult:
         import time
 
+        from repro.experiment.cache import resolve_cache
+
         wall_start = time.perf_counter()
-        workers = self.max_workers or min(len(self._payloads), os.cpu_count() or 1)
-        use_pool = self.parallel and workers > 1 and len(self._payloads) > 1
+        cache = resolve_cache(self.cache)
+
+        # Cache lookups happen here in the parent, before any fan-out:
+        # a fully warm sweep never pays process-pool startup.
+        raw: list[dict[str, Any] | None] = [None] * len(self._payloads)
+        if cache is not None:
+            for index, payload in enumerate(self._payloads):
+                raw[index] = cache.get_payload(payload)
+        misses = [index for index, data in enumerate(raw) if data is None]
+
+        workers = self.max_workers or min(
+            max(len(misses), 1), os.cpu_count() or 1
+        )
+        use_pool = self.parallel and workers > 1 and len(misses) > 1
+        miss_payloads = [self._payloads[index] for index in misses]
         if use_pool:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                raw = list(pool.map(_run_spec_payload, self._payloads))
+                fresh = list(pool.map(_run_spec_payload, miss_payloads))
         else:
-            raw = [_run_spec_payload(payload) for payload in self._payloads]
+            fresh = [_run_spec_payload(payload) for payload in miss_payloads]
+        # Writebacks defer the index flush to a single write after the
+        # loop — one put per miss with a full index rewrite each would
+        # cost O(misses x index size).
+        for index, data in zip(misses, fresh):
+            raw[index] = data
+            if cache is not None:
+                cache.put_payload(
+                    self._payloads[index],
+                    data,
+                    label=self.experiments[index].label,
+                    flush=False,
+                )
+        if cache is not None and misses:
+            cache.flush()
+
         results = [ExperimentResult.from_dict(data) for data in raw]
+        cached = cache is not None
         return BatchResult(
             results=results,
             wall_time_s=time.perf_counter() - wall_start,
             parallel=use_pool,
+            cache_hits=len(self._payloads) - len(misses) if cached else 0,
+            cache_misses=len(misses) if cached else 0,
         )

@@ -1,0 +1,466 @@
+"""Content-addressed on-disk cache of :class:`ExperimentResult` payloads.
+
+The paper's evaluation is a grid of repeated simulation cells (the
+fig13 starvation variants, the fig14 scenarios x controllers x seeds
+matrix), and the runner is deterministic: a spec's canonical dict fully
+determines its result.  That makes results cacheable by content
+address — :func:`repro.experiment.specs.spec_digest` hashes the
+canonical spec dict together with :data:`SPEC_SCHEMA_VERSION`, and
+:class:`ResultCache` stores the result payload JSON under that digest.
+
+Layout on disk (all writes are atomic ``tmp + os.replace``)::
+
+    <cache_dir>/
+        index.json            # digest -> {size, label, seq} bookkeeping
+        ab/abcdef....json     # one result payload per digest, fanned out
+                              # by the first two hex characters
+
+* ``get(spec)`` / ``put(spec, result)`` move typed
+  :class:`ExperimentResult`\\ s in and out;
+* ``get_payload(...)`` / ``put_payload(...)`` are the dict-level
+  equivalents the :class:`repro.experiment.batch.BatchRunner` uses so
+  warm sweeps never touch worker processes;
+* eviction is least-recently-used, bounded by ``max_entries`` and
+  ``max_bytes``;
+* ``stats`` counts hits / misses / puts / evictions for benchmark
+  reporting.
+
+Cached payloads are returned exactly as stored — bit-identical to what
+the original run serialized, including the original run's runtime block
+(``wall_time_s`` of the *simulation that produced it*, not of the cache
+lookup).  :class:`ControlDecision` objects never serialize, so cache
+hits cannot reconstruct them; :meth:`Experiment.run` therefore only
+consults the cache when ``keep_decisions=False``, and writes back
+put-if-absent — an existing entry keeps the exact payload its original
+run serialized.
+
+:func:`default_cache` builds the conventional cache for this machine,
+honoring the ``REPRO_CACHE_DIR`` environment variable; setting that
+variable also turns caching on by default for every
+:meth:`Experiment.run` and :class:`BatchRunner` that was not given an
+explicit ``cache`` argument (see :func:`resolve_cache`).
+
+The cache is safe for the batch runner's usage — lookups and writebacks
+happen in one parent process — and tolerates concurrent *readers*.
+Concurrent writers sharing one directory are supported best-effort:
+payload files are content-addressed and written atomically (unique temp
+names + ``os.replace``), and every index write re-merges entries found
+on disk so a stale writer cannot orphan another's payloads; what a race
+can still cost is accuracy of the LRU bookkeeping (an entry briefly
+missing from the index is re-adopted by the next write, and at worst
+re-simulated), never the correctness of a returned payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.experiment.runner import ExperimentResult
+from repro.experiment.specs import SPEC_SCHEMA_VERSION, ExperimentSpec, spec_digest
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "default_cache",
+    "resolve_cache",
+]
+
+_INDEX_NAME = "index.json"
+
+
+def _coerce_entry(value: Any) -> dict[str, Any] | None:
+    """A well-formed index entry normalized to native types, or ``None``.
+
+    Everything read back from ``index.json`` goes through here, so the
+    rest of the class can index into entries without re-validating —
+    malformed values surface as "corrupt index" (rebuild) rather than as
+    crashes deep inside ``_touch``/``_evict``/``size_bytes``.
+    """
+    if not isinstance(value, Mapping):
+        return None
+    try:
+        return {
+            "size": int(value.get("size", 0)),
+            "label": str(value.get("label", "")),
+            "seq": int(value.get("seq", 0)),
+        }
+    except (TypeError, ValueError):
+        return None
+
+
+def _atomic_write_text(target: Path, text: str) -> None:
+    """Write ``text`` to ``target`` atomically.
+
+    The temporary file gets a unique name (``tempfile.mkstemp`` in the
+    target's directory), so concurrent processes sharing a cache
+    directory can never rename each other's half-written files out from
+    under the ``os.replace``; last writer wins, which is all the index
+    bookkeeping needs.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+#: Default bounds: generous for sweep workloads (a fig14-sized payload is
+#: a few KiB) while keeping a forgotten cache directory bounded.
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/put/eviction counters of one :class:`ResultCache` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 when nothing was looked up yet."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """Content-addressed store of experiment result payloads.
+
+    Args:
+        cache_dir: directory to store payloads in (created on first use).
+        max_entries: evict least-recently-used entries beyond this count.
+        max_bytes: evict least-recently-used entries once the summed
+            payload size exceeds this bound.
+        schema_version: mixed into every key; defaults to
+            :data:`repro.experiment.specs.SPEC_SCHEMA_VERSION`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike[str],
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        schema_version: int = SPEC_SCHEMA_VERSION,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
+        self.cache_dir = Path(cache_dir).expanduser()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.schema_version = schema_version
+        self.stats = CacheStats()
+        self._index: dict[str, dict[str, Any]] | None = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------ keys
+    def key(self, spec: ExperimentSpec | Mapping[str, Any]) -> str:
+        """The content address of ``spec`` under this cache's schema."""
+        return spec_digest(spec, schema_version=self.schema_version)
+
+    def _payload_path(self, digest: str) -> Path:
+        return self.cache_dir / digest[:2] / f"{digest}.json"
+
+    # --------------------------------------------------------------- index IO
+    def _load_index(self) -> dict[str, dict[str, Any]]:
+        if self._index is None:
+            try:
+                with open(self.cache_dir / _INDEX_NAME, encoding="utf-8") as fh:
+                    data = json.load(fh)
+                if not isinstance(data, dict):
+                    raise ValueError("malformed index")
+                raw = data.get("entries", {})
+                if not isinstance(raw, dict):
+                    raise ValueError("malformed index")
+                entries: dict[str, dict[str, Any]] = {}
+                for digest, value in raw.items():
+                    entry = _coerce_entry(value)
+                    if entry is None:
+                        raise ValueError("malformed index entry")
+                    entries[str(digest)] = entry
+                self._index = entries
+            except (OSError, ValueError):
+                self._index = self._rebuild_index()
+            self._seq = max((e["seq"] for e in self._index.values()), default=0)
+        return self._index
+
+    def _rebuild_index(self) -> dict[str, dict[str, Any]]:
+        """Recover bookkeeping from the payload files themselves (the
+        index is a cache of the cache — losing it must never lose data)."""
+        entries: dict[str, dict[str, Any]] = {}
+        if not self.cache_dir.is_dir():
+            return entries
+        for path in sorted(self.cache_dir.glob("??/*.json")):
+            digest = path.stem
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries[digest] = {"size": size, "label": "", "seq": 0}
+        return entries
+
+    def _write_index(self) -> None:
+        index = self._load_index()
+        # Read-merge-write: adopt entries another handle/process added to
+        # the directory since our snapshot, so a stale writer never orphans
+        # their payloads.  Digests we removed stay removed — their payload
+        # files are unlinked first, and the merge only adopts entries whose
+        # payload still exists on disk.
+        try:
+            with open(self.cache_dir / _INDEX_NAME, encoding="utf-8") as fh:
+                on_disk = json.load(fh)
+            entries = on_disk.get("entries", {}) if isinstance(on_disk, dict) else {}
+            if isinstance(entries, dict):
+                adopted = False
+                for digest, value in entries.items():
+                    entry = _coerce_entry(value)
+                    digest = str(digest)
+                    if (
+                        entry is not None
+                        and digest not in index
+                        and self._payload_path(digest).exists()
+                    ):
+                        index[digest] = entry
+                        adopted = True
+                if adopted:
+                    # Adopted entries count against this handle's bounds
+                    # too, or a read-mostly workload could leave the
+                    # directory over max_entries/max_bytes indefinitely.
+                    self._evict()
+        except (OSError, ValueError):
+            pass
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            self.cache_dir / _INDEX_NAME,
+            json.dumps({"schema": self.schema_version, "entries": index}, indent=0),
+        )
+
+    def _touch(self, digest: str) -> None:
+        self._seq += 1
+        self._load_index()[digest]["seq"] = self._seq
+
+    # ---------------------------------------------------------- payload-level
+    def get_payload(
+        self, spec: ExperimentSpec | Mapping[str, Any]
+    ) -> dict[str, Any] | None:
+        """The stored result dict for ``spec``, or ``None`` on a miss.
+
+        A corrupt or externally deleted payload file counts as a miss and
+        drops the stale index entry.
+        """
+        digest = self.key(spec)
+        index = self._load_index()
+        if digest in index:
+            try:
+                with open(self._payload_path(digest), encoding="utf-8") as fh:
+                    payload = json.load(fh)
+                if not isinstance(payload, dict):
+                    raise ValueError("malformed payload")
+            except (OSError, ValueError):
+                # Unlink before dropping the entry: a corrupt payload left
+                # on disk would be re-adopted by the next index merge.
+                try:
+                    self._payload_path(digest).unlink()
+                except OSError:
+                    pass
+                index.pop(digest, None)
+                self._write_index()
+            else:
+                self.stats.hits += 1
+                # LRU touches are deferred: rewriting the whole index on
+                # every hit would turn a warm N-cell sweep into N full
+                # index serializations.  The refreshed seq numbers persist
+                # with the next put/eviction/clear; losing them on exit
+                # costs LRU accuracy only, never payload correctness.
+                self._touch(digest)
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put_payload(
+        self,
+        spec: ExperimentSpec | Mapping[str, Any],
+        payload: Mapping[str, Any],
+        label: str = "",
+        flush: bool = True,
+    ) -> str:
+        """Store a result dict under ``spec``'s digest; returns the digest.
+
+        ``flush=False`` defers the index write — the payload file itself
+        always lands immediately.  Bulk writers (a cold batch sweep doing
+        one put per miss) pass it and call :meth:`flush` once at the end,
+        instead of paying a full index read-merge-rewrite per cell.  A
+        crash before the flush costs at most a future miss on the
+        unindexed digests — the next cold run simply rewrites them.
+        """
+        digest = self.key(spec)
+        path = self._payload_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        encoded = json.dumps(payload, sort_keys=True)
+        _atomic_write_text(path, encoded)
+        index = self._load_index()
+        # Bytes on disk, not characters: must agree with the st_size a
+        # _rebuild_index would record for the same UTF-8 payload file.
+        index[digest] = {
+            "size": len(encoded.encode("utf-8")), "label": label, "seq": 0
+        }
+        self._touch(digest)
+        self.stats.puts += 1
+        self._evict()
+        if flush:
+            self._write_index()
+        return digest
+
+    # ------------------------------------------------------------ typed-level
+    def get(self, spec: ExperimentSpec) -> ExperimentResult | None:
+        """The cached :class:`ExperimentResult` for ``spec``, or ``None``."""
+        payload = self.get_payload(spec)
+        return ExperimentResult.from_dict(payload) if payload is not None else None
+
+    def put(self, result: ExperimentResult) -> str:
+        """Cache ``result`` under its own spec's digest; returns the digest."""
+        return self.put_payload(
+            result.spec, result.to_dict(include_runtime=True), label=result.spec.label
+        )
+
+    # -------------------------------------------------------------- eviction
+    def _evict(self) -> None:
+        index = self._load_index()
+        by_age = sorted(index, key=lambda d: int(index[d].get("seq", 0)))
+        total = sum(int(e.get("size", 0)) for e in index.values())
+        # The most-recently-used entry always survives, even when it alone
+        # exceeds max_bytes — evicting what was just written would make an
+        # undersized cache silently useless.
+        while len(by_age) > 1 and (
+            len(index) > self.max_entries or total > self.max_bytes
+        ):
+            digest = by_age.pop(0)
+            total -= int(index.pop(digest).get("size", 0))
+            try:
+                self._payload_path(digest).unlink()
+            except OSError:
+                pass
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------- management
+    def flush(self) -> None:
+        """Persist the in-memory index (LRU touches, deferred puts)."""
+        self._write_index()
+
+    def __len__(self) -> int:
+        return len(self._load_index())
+
+    def __contains__(self, spec: object) -> bool:
+        if not isinstance(spec, (ExperimentSpec, Mapping)):
+            return False
+        return self.key(spec) in self._load_index()
+
+    @property
+    def size_bytes(self) -> int:
+        """Summed size of every stored payload."""
+        return sum(int(e.get("size", 0)) for e in self._load_index().values())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were dropped."""
+        index = self._load_index()
+        dropped = len(index)
+        for digest in list(index):
+            try:
+                self._payload_path(digest).unlink()
+            except OSError:
+                pass
+        index.clear()
+        self._write_index()
+        return dropped
+
+
+def default_cache(
+    max_entries: int = DEFAULT_MAX_ENTRIES, max_bytes: int = DEFAULT_MAX_BYTES
+) -> ResultCache:
+    """The conventional on-disk cache for this machine.
+
+    Resolution order for the directory:
+
+    1. ``$REPRO_CACHE_DIR`` when set and non-empty;
+    2. ``$XDG_CACHE_HOME/repro-mesh`` when ``XDG_CACHE_HOME`` is set;
+    3. ``~/.cache/repro-mesh``.
+    """
+    env_dir = os.environ.get("REPRO_CACHE_DIR")
+    if env_dir:
+        return ResultCache(env_dir, max_entries=max_entries, max_bytes=max_bytes)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return ResultCache(
+        base / "repro-mesh", max_entries=max_entries, max_bytes=max_bytes
+    )
+
+
+#: One shared default-cache handle per process (for both the
+#: ``REPRO_CACHE_DIR`` and ``cache=True`` paths), so a script looping
+#: ``run_experiment`` N times parses the index once instead of N times
+#: and its hit/miss stats accumulate in one place.  Re-created if the
+#: resolved directory changes.
+_shared_cache: ResultCache | None = None
+_shared_cache_dir: str | None = None
+
+
+def _shared_default_cache() -> ResultCache:
+    global _shared_cache, _shared_cache_dir
+    resolved = default_cache()
+    key = str(resolved.cache_dir)
+    if _shared_cache is None or _shared_cache_dir != key:
+        _shared_cache, _shared_cache_dir = resolved, key
+    return _shared_cache
+
+
+def resolve_cache(
+    cache: "ResultCache | None | bool",
+) -> ResultCache | None:
+    """Resolve the ``cache`` argument of :meth:`Experiment.run` and
+    :class:`BatchRunner`.
+
+    * an explicit :class:`ResultCache` is used as given;
+    * ``True`` forces the process-shared default cache;
+    * ``False`` disables caching unconditionally;
+    * ``None`` (the default everywhere) enables the process-shared
+      default cache iff ``REPRO_CACHE_DIR`` is set — so exporting that
+      variable turns result caching on for every call site that leaves
+      ``cache`` unspecified.
+    """
+    if isinstance(cache, bool):
+        return _shared_default_cache() if cache else None
+    if cache is None:
+        return (
+            _shared_default_cache()
+            if os.environ.get("REPRO_CACHE_DIR")
+            else None
+        )
+    return cache

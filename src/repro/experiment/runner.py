@@ -16,14 +16,19 @@ per cycle (keeping the full :class:`ControlDecision` when requested),
 per-flow achieved throughput, realized utility, and runtime statistics.
 Results serialize with ``to_dict``/``from_dict`` (decisions excluded),
 which the parallel batch runner uses to return bit-identical payloads
-from worker processes.
+from worker processes — and which the content-addressed
+:class:`repro.experiment.cache.ResultCache` stores on disk so repeated
+specs skip the simulation entirely (``Experiment(spec).run(cache=...)``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:
+    from repro.experiment.cache import ResultCache
 
 from repro.analysis.metrics import jain_fairness_index
 from repro.core.controller import ControlDecision, OnlineOptimizer
@@ -172,10 +177,35 @@ class Experiment:
         """Materialize the scenario without running anything."""
         return build_scenario(self.spec.scenario)
 
-    def run(self, scenario: BuiltScenario | None = None) -> ExperimentResult:
+    def run(
+        self,
+        scenario: BuiltScenario | None = None,
+        cache: "ResultCache | None | bool" = None,
+    ) -> ExperimentResult:
         """Run the experiment, optionally on a scenario built beforehand
-        with :meth:`build` (e.g. to inspect routes before running)."""
+        with :meth:`build` (e.g. to inspect routes before running).
+
+        ``cache`` is resolved by :func:`repro.experiment.cache.resolve_cache`
+        (pass a :class:`ResultCache`, ``True`` for the default cache,
+        ``False`` to disable; the default ``None`` consults the cache iff
+        ``REPRO_CACHE_DIR`` is set).  The cache only participates when no
+        pre-built ``scenario`` was handed in — a caller-provided scenario
+        may diverge from the spec, which would poison a content-addressed
+        store — and lookups additionally require ``keep_decisions=False``,
+        since cached payloads cannot carry :class:`ControlDecision`
+        objects.  Completed spec-built runs are written back regardless of
+        ``keep_decisions`` — but only if the digest is still absent, so an
+        existing entry keeps the exact payload (runtime block included)
+        its original run serialized.
+        """
+        from repro.experiment.cache import resolve_cache
+
         spec = self.spec
+        result_cache = resolve_cache(cache) if scenario is None else None
+        if result_cache is not None and not self.keep_decisions:
+            cached = result_cache.get(spec)
+            if cached is not None:
+                return cached
         wall_start = time.perf_counter()
         if scenario is None:
             scenario = self.build()
@@ -228,7 +258,7 @@ class Experiment:
                 )
             )
 
-        return ExperimentResult(
+        result = ExperimentResult(
             spec=spec,
             flow_ids=[f.flow_id for f in flows],
             flow_paths={f.flow_id: tuple(f.path) for f in flows},
@@ -238,8 +268,15 @@ class Experiment:
             events_processed=network.sim.processed_events,
             meta=dict(scenario.meta),
         )
+        if result_cache is not None and spec not in result_cache:
+            result_cache.put(result)
+        return result
 
 
-def run_experiment(spec: ExperimentSpec, keep_decisions: bool = True) -> ExperimentResult:
-    """Convenience wrapper: ``Experiment(spec).run()``."""
-    return Experiment(spec, keep_decisions=keep_decisions).run()
+def run_experiment(
+    spec: ExperimentSpec,
+    keep_decisions: bool = True,
+    cache: "ResultCache | None | bool" = None,
+) -> ExperimentResult:
+    """Convenience wrapper: ``Experiment(spec).run(cache=cache)``."""
+    return Experiment(spec, keep_decisions=keep_decisions).run(cache=cache)

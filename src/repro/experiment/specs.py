@@ -25,6 +25,8 @@ ships across process boundaries.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping
 
@@ -34,6 +36,36 @@ from repro.phy.radio import RATE_TABLE, RadioConfig, rate_from_mbps
 
 class SpecError(ValueError):
     """Raised when an experiment specification is invalid."""
+
+
+#: Version tag mixed into every spec digest.  Bump it whenever a change to
+#: the spec schema *or* to the simulation semantics behind it invalidates
+#: previously computed :class:`ExperimentResult` payloads — cached entries
+#: keyed under the old version simply stop matching and age out.
+SPEC_SCHEMA_VERSION = 1
+
+
+def spec_digest(spec: "ExperimentSpec | Mapping[str, Any]",
+                schema_version: int = SPEC_SCHEMA_VERSION) -> str:
+    """Content address of an experiment: a stable hex digest of the
+    canonical spec dict plus the schema version.
+
+    The digest is computed over the sorted-key, minimal-separator JSON
+    encoding of ``{"schema": schema_version, "spec": spec.to_dict()}``,
+    so it is independent of dict insertion order, process hash
+    randomization, and whether the caller holds a typed
+    :class:`ExperimentSpec` or its plain-dict payload.  Two specs share a
+    digest iff their canonical dicts are equal — which, by the
+    determinism guarantees of the runner, means their results are
+    bit-identical.
+    """
+    payload = spec.to_dict() if isinstance(spec, ExperimentSpec) else spec
+    canonical = json.dumps(
+        {"schema": int(schema_version), "spec": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 Positions = dict[int, tuple[float, float]]

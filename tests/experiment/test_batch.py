@@ -50,16 +50,18 @@ class TestExecution:
     def sweep(self):
         return seed_sweep(BASE_SPEC, range(4))
 
+    # cache=False throughout: this class asserts on *which processes ran*,
+    # which a warm REPRO_CACHE_DIR cache would legitimately change.
     @pytest.fixture(scope="class")
     def sequential(self, sweep):
-        return BatchRunner(sweep, parallel=False).run()
+        return BatchRunner(sweep, parallel=False, cache=False).run()
 
     def test_results_in_submission_order(self, sweep, sequential):
         assert [r.spec.scenario.seed for r in sequential] == [0, 1, 2, 3]
         assert len(sequential) == len(sweep)
 
     def test_parallel_matches_sequential_bit_for_bit(self, sweep, sequential):
-        parallel = BatchRunner(sweep, parallel=True, max_workers=2).run()
+        parallel = BatchRunner(sweep, parallel=True, max_workers=2, cache=False).run()
         assert parallel.parallel  # the pool genuinely engaged
         assert parallel.to_dicts(include_runtime=False) == sequential.to_dicts(
             include_runtime=False

@@ -1,0 +1,66 @@
+"""Every relative link in README.md and docs/*.md must resolve.
+
+Markdown links rot silently — this suite walks ``[text](target)`` links
+in the documentation and checks that relative targets exist on disk and
+that intra-document anchors point at a real heading.  External links
+(``http(s)://``, ``mailto:``) are out of scope: checking them would make
+the suite network-dependent.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must resolve too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def doc_files() -> list[Path]:
+    docs = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    assert len(docs) >= 4, "documentation suite went missing"
+    return docs
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs of every heading in ``markdown``."""
+    anchors = set()
+    for heading in _HEADING.findall(markdown):
+        slug = re.sub(r"[^\w\s-]", "", heading.strip().lower())
+        anchors.add(re.sub(r"[\s]+", "-", slug))
+    return anchors
+
+
+def links_of(path: Path) -> list[str]:
+    return _LINK.findall(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("doc", doc_files(), ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = []
+    for target in links_of(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        if path_part and not resolved.exists():
+            broken.append(target)
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_anchors(resolved.read_text(encoding="utf-8")):
+                broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+def test_docs_are_cross_linked():
+    """The docs pages must reference each other and be reachable from
+    the README, so readers can navigate without guessing file names."""
+    readme_links = set(links_of(REPO_ROOT / "README.md"))
+    for page in ("architecture.md", "experiment-api.md", "reproducing-figures.md"):
+        assert any(page in link for link in readme_links), f"README misses {page}"
