@@ -59,7 +59,9 @@ def _run_all(cache):
         for name, controller in VARIANTS.items()
         for seed in range(RUNS_PER_VARIANT)
     ]
-    batch = BatchRunner(specs, parallel=False, cache=cache).run()
+    # The serial backend is pinned so figure timings stay comparable
+    # across hosts and with earlier BENCH_*.json records.
+    batch = BatchRunner(specs, backend="serial", cache=cache).run()
     results: dict[str, list[tuple[float, float]]] = {}
     for spec, result in zip(specs, batch):
         two_hop, one_hop = result.meta["two_hop"], result.meta["one_hop"]
@@ -86,6 +88,14 @@ def test_fig13_tcp_starvation(benchmark, tmp_path):
         f"({cold_s / max(warm_s, 1e-9):.0f}x), "
         f"warm hit rate {warm_batch.cache_hit_rate:.0%} of {len(warm_batch)} cells"
     )
+    report.add(
+        f"planner: {warm_batch.backend} backend, cold executed "
+        f"{cold_batch.planner.executed}/{cold_batch.planner.unique} unique cells "
+        f"of {cold_batch.planner.total} submitted, "
+        f"warm executed {warm_batch.planner.executed}"
+    )
+    # The planner never dispatches a cache-resolved (or duplicated) cell.
+    assert warm_batch.planner.executed == 0
     rows = []
     summary = {}
     for name, runs in results.items():

@@ -12,7 +12,10 @@ The package is organised as the paper's system is:
   rate-control loop.
 * :mod:`repro.experiment` — the declarative front door: frozen
   specification dataclasses, a named scenario registry, the
-  :class:`Experiment` runner and a multi-seed :class:`BatchRunner`.
+  :class:`Experiment` runner, and a multi-seed :class:`BatchRunner`
+  that plans sweeps (dedup, cache resolution, cost ordering) and
+  executes them on pluggable backends (serial, process pool, or a
+  shared-directory work queue remote hosts can drain).
 * :mod:`repro.analysis` — metrics and reporting used by the benchmark
   harness that regenerates every figure of the paper's evaluation.
 
@@ -34,11 +37,20 @@ Quickstart — declare a scenario, run it, read typed results::
     print(result.flow_throughputs_bps, result.jain_index)
     decision = result.final_cycle.decision   # full ControlDecision per cycle
 
-Sweep seeds in parallel (results are bit-identical to sequential runs)::
+Sweep seeds through a planned, pluggable backend — duplicates simulate
+once, cache hits resolve before fan-out, and serial, process-pool and
+work-queue execution all return byte-identical results::
 
     from repro import BatchRunner, seed_sweep
 
-    batch = BatchRunner(seed_sweep(spec, range(4))).run()
+    from repro import WorkQueueBackend
+
+    sweep = seed_sweep(spec, range(4))
+    batch = BatchRunner(sweep).run()          # local process pool
+    batch = BatchRunner(                      # shared-dir queue: remote
+        sweep,                                # hosts join by running
+        backend=WorkQueueBackend("/mnt/q"),   # python -m repro.experiment.worker /mnt/q
+    ).run()
     print(batch.report().render())
 
 Cache results on disk so repeated sweep cells skip the simulation
@@ -58,25 +70,35 @@ is built on.
 """
 
 from repro.experiment import (
+    BackendError,
     BatchResult,
     BatchRunner,
     CacheStats,
     ControllerSpec,
     CycleResult,
+    ExecutionBackend,
     Experiment,
     ExperimentResult,
     ExperimentSpec,
     FlowSpec,
     NO_RATE_CONTROL,
+    PlannerStats,
     ProbingSpec,
+    ProcessPoolBackend,
     RadioSpec,
     ResultCache,
     ScenarioSpec,
+    SerialBackend,
     SpecError,
+    SweepPlan,
+    SweepPlanner,
     TopologySpec,
+    WorkQueueBackend,
+    backend_names,
     build_scenario,
     default_cache,
     register_scenario,
+    resolve_backend,
     run_experiment,
     scenario_description,
     scenario_names,
@@ -84,7 +106,7 @@ from repro.experiment import (
     spec_digest,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "phy",
@@ -95,25 +117,35 @@ __all__ = [
     "core",
     "analysis",
     "experiment",
+    "BackendError",
     "BatchResult",
     "BatchRunner",
     "CacheStats",
     "ControllerSpec",
     "CycleResult",
+    "ExecutionBackend",
     "Experiment",
     "ExperimentResult",
     "ExperimentSpec",
     "FlowSpec",
     "NO_RATE_CONTROL",
+    "PlannerStats",
     "ProbingSpec",
+    "ProcessPoolBackend",
     "RadioSpec",
     "ResultCache",
     "ScenarioSpec",
+    "SerialBackend",
     "SpecError",
+    "SweepPlan",
+    "SweepPlanner",
     "TopologySpec",
+    "WorkQueueBackend",
+    "backend_names",
     "build_scenario",
     "default_cache",
     "register_scenario",
+    "resolve_backend",
     "run_experiment",
     "scenario_description",
     "scenario_names",

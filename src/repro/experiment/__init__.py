@@ -11,8 +11,16 @@ This package is the canonical public entry point to the reproduction:
   warmup -> N optimizer cycles -> measurement and returns an
   :class:`ExperimentResult`;
 * :mod:`repro.experiment.batch` — :class:`BatchRunner`, a multi-seed /
-  multi-scenario sweep with process parallelism whose results are
-  bit-identical to a sequential run;
+  multi-scenario sweep whose results are bit-identical no matter which
+  backend executes them;
+* :mod:`repro.experiment.backends` — the pluggable execution layer
+  (:class:`SerialBackend`, :class:`ProcessPoolBackend`, and the
+  shared-directory :class:`WorkQueueBackend` remote workers drain via
+  ``python -m repro.experiment.worker``), selectable per-runner or
+  globally with ``REPRO_BATCH_BACKEND``;
+* :mod:`repro.experiment.planner` — :class:`SweepPlanner`, which
+  deduplicates identical specs, resolves cache hits before dispatch,
+  and orders the remaining cells by estimated cost (slowest first);
 * :mod:`repro.experiment.cache` — :class:`ResultCache`, a
   content-addressed on-disk cache of result payloads keyed by
   :func:`spec_digest`, consulted by the runner and the batch runner so
@@ -20,12 +28,29 @@ This package is the canonical public entry point to the reproduction:
   exporting ``REPRO_CACHE_DIR``).
 """
 
+from repro.experiment.backends import (
+    BackendError,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkQueueBackend,
+    backend_names,
+    resolve_backend,
+    run_spec_payload,
+)
 from repro.experiment.batch import BatchResult, BatchRunner, seed_sweep
 from repro.experiment.cache import (
     CacheStats,
     ResultCache,
     default_cache,
     resolve_cache,
+)
+from repro.experiment.planner import (
+    PlannedJob,
+    PlannerStats,
+    SweepPlan,
+    SweepPlanner,
+    estimate_cost_s,
 )
 from repro.experiment.registry import (
     BuiltScenario,
@@ -55,9 +80,22 @@ from repro.experiment.specs import (
 )
 
 __all__ = [
+    "BackendError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkQueueBackend",
+    "backend_names",
+    "resolve_backend",
+    "run_spec_payload",
     "BatchResult",
     "BatchRunner",
     "seed_sweep",
+    "PlannedJob",
+    "PlannerStats",
+    "SweepPlan",
+    "SweepPlanner",
+    "estimate_cost_s",
     "CacheStats",
     "ResultCache",
     "default_cache",

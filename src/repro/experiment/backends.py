@@ -1,0 +1,516 @@
+"""Pluggable execution backends for batch sweeps.
+
+The :class:`repro.experiment.batch.BatchRunner` does not run specs
+itself: it plans the sweep (see :mod:`repro.experiment.planner`) and
+hands the cells that actually need simulating to an
+:class:`ExecutionBackend`.  Every backend speaks the same dict-in /
+dict-out protocol as :func:`run_spec_payload` — a spec's canonical dict
+goes in, the result's canonical dict comes out — which is exactly the
+protocol the process-parallel runner has always used, so swapping
+backends can never change results: by the determinism guarantees of the
+engine (CRC32-derived RNG spawn keys), the payload a backend returns is
+byte-identical no matter where the simulation ran.
+
+Three backends ship with the library:
+
+* :class:`SerialBackend` — run every cell inline in the calling
+  process.  The reference implementation the others are tested against.
+* :class:`ProcessPoolBackend` — fan out across local worker processes
+  with :class:`concurrent.futures.ProcessPoolExecutor` (what
+  ``BatchRunner(parallel=True)`` has always done).
+* :class:`WorkQueueBackend` — a shared-directory work queue.  The
+  submitting process writes one JSON task file per cell; *any* process
+  that can see the directory — locally spawned drainers, or remote
+  workers started with ``python -m repro.experiment.worker <dir>`` on
+  hosts sharing the filesystem — claims tasks by atomic rename, runs
+  them, and writes result files back.  This is the distributed-ready
+  backend: the queue directory is the only coupling between submitter
+  and workers.
+
+:func:`resolve_backend` maps the ``backend`` argument of
+:class:`BatchRunner` (a name, an instance, or ``None``) to an instance;
+exporting ``REPRO_BATCH_BACKEND=serial|process|work_queue`` selects the
+default backend for every ``BatchRunner`` that did not pass one
+explicitly, which is how the CI backend matrix drives the whole
+experiment test package through each backend in turn.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.experiment.fsio import atomic_write_text
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkQueueBackend",
+    "BackendError",
+    "backend_names",
+    "resolve_backend",
+    "run_spec_payload",
+]
+
+#: Environment variable naming the default backend (see :func:`resolve_backend`).
+BACKEND_ENV_VAR = "REPRO_BATCH_BACKEND"
+
+
+class BackendError(RuntimeError):
+    """A backend failed to produce a result for a submitted spec."""
+
+
+def run_spec_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The worker protocol: spec dict in, result dict out.
+
+    Caching is disabled here even when ``REPRO_CACHE_DIR`` is set: the
+    submitting process resolves cache hits before dispatching and owns
+    every writeback, so executors must not contend for the cache index.
+    """
+    from repro.experiment.runner import Experiment
+    from repro.experiment.specs import ExperimentSpec
+
+    spec = ExperimentSpec.from_dict(payload)
+    return Experiment(spec, keep_decisions=False).run(cache=False).to_dict()
+
+
+class ExecutionBackend(ABC):
+    """Executes spec payloads and returns result payloads, in order.
+
+    Implementations must be order-preserving (``results[i]`` corresponds
+    to ``payloads[i]``) and must produce payloads byte-identical to
+    :func:`run_spec_payload` run inline — the cross-backend determinism
+    suite holds every backend to that bar.
+    """
+
+    #: Registry name (also the value ``REPRO_BATCH_BACKEND`` takes).
+    name: str = ""
+
+    @abstractmethod
+    def run(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Execute every payload and return the result payloads in order."""
+
+    def workers_for(self, num_tasks: int) -> int:
+        """How many workers this backend would engage for ``num_tasks``
+        (1 means the work effectively runs serially)."""
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every cell inline, in submission order, in this process."""
+
+    name = "serial"
+
+    def run(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        return [run_spec_payload(payload) for payload in payloads]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan out across local processes with a ``ProcessPoolExecutor``.
+
+    Args:
+        max_workers: process count; defaults to the CPU count capped at
+            the number of submitted cells.  With one cell (or one
+            worker) the pool is skipped entirely and the cell runs
+            inline — identical results, no startup cost.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def workers_for(self, num_tasks: int) -> int:
+        if num_tasks <= 1:
+            return 1
+        return self.max_workers or min(num_tasks, os.cpu_count() or 1)
+
+    def run(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        workers = self.workers_for(len(payloads))
+        if workers <= 1:
+            return [run_spec_payload(payload) for payload in payloads]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_spec_payload, payloads))
+
+
+# ---------------------------------------------------------------------------
+# File-based work queue
+# ---------------------------------------------------------------------------
+#: Queue-directory layout, shared with :mod:`repro.experiment.worker`.
+TASKS_DIR = "tasks"
+CLAIMED_DIR = "claimed"
+RESULTS_DIR = "results"
+
+#: Result files this old are orphans of dead submissions (see
+#: :meth:`WorkQueueBackend._reap_stale_results`).
+_STALE_RESULT_S = 7 * 24 * 3600.0
+
+
+def _atomic_write_json(target: Path, payload: Mapping[str, Any]) -> None:
+    """Write JSON atomically so queue consumers never see partial files."""
+    atomic_write_text(target, json.dumps(payload))
+
+
+def ensure_queue_dirs(queue_dir: str | os.PathLike[str]) -> Path:
+    """Create the tasks/claimed/results layout; returns the queue root."""
+    root = Path(queue_dir).expanduser()
+    for name in (TASKS_DIR, CLAIMED_DIR, RESULTS_DIR):
+        (root / name).mkdir(parents=True, exist_ok=True)
+    return root
+
+
+class WorkQueueBackend(ExecutionBackend):
+    """A shared-directory work queue any worker process can drain.
+
+    One task file per cell lands in ``<queue_dir>/tasks/``; workers
+    claim a task by atomically renaming it into ``claimed/`` (the rename
+    is the lock — exactly one claimant wins), run
+    :func:`run_spec_payload`, and write the result JSON into
+    ``results/``.  The submitter polls for result files and reassembles
+    them in submission order.  Task ids are unique per submission, so
+    several submitters (and any number of workers) can share one
+    directory.
+
+    Args:
+        queue_dir: the shared directory.  ``None`` creates a private
+            temporary queue per :meth:`run` — convenient for local use,
+            pointless for remote workers, which need a directory they
+            can see too.
+        workers: how many local drainer processes to spawn per
+            :meth:`run` (``python -m repro.experiment.worker``).  ``0``
+            spawns none and relies entirely on external workers already
+            watching the directory.
+        cache_dir: optional shared :class:`ResultCache` directory the
+            spawned workers write results back to (content-addressed,
+            so concurrent writers are safe) — lets a warm shared store
+            build up even when the submitter itself runs uncached.
+        poll_interval_s: how often the submitter re-scans ``results/``.
+        timeout_s: give up (``BackendError``) when results stop arriving
+            for this long and no local worker is still alive.
+    """
+
+    name = "work_queue"
+
+    def __init__(
+        self,
+        queue_dir: str | os.PathLike[str] | None = None,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike[str] | None = None,
+        poll_interval_s: float = 0.05,
+        timeout_s: float = 600.0,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if workers == 0 and queue_dir is None:
+            raise ValueError(
+                "workers=0 (external drain) requires a queue_dir the "
+                "external workers can see; a private temporary queue "
+                "would hang until timeout"
+            )
+        self.queue_dir = Path(queue_dir).expanduser() if queue_dir else None
+        self.workers = workers
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
+        self.poll_interval_s = poll_interval_s
+        self.timeout_s = timeout_s
+
+    def workers_for(self, num_tasks: int) -> int:
+        """Locally spawned drainers (external-drain mode reports 1 —
+        the submitter cannot know how many remote workers are watching)."""
+        if num_tasks <= 0 or self.workers == 0:
+            return 1
+        if self.workers is not None:
+            return min(self.workers, max(num_tasks, 1))
+        return min(num_tasks, os.cpu_count() or 1)
+
+    # ------------------------------------------------------------- internals
+    def _spawn_worker(
+        self, queue_dir: Path, log_path: Path, match: str
+    ) -> subprocess.Popen:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiment.worker",
+            str(queue_dir),
+            "--exit-when-empty",
+            "--poll-interval-s",
+            str(self.poll_interval_s),
+            # Scoped to this submission: terminating these drainers at the
+            # end of run() must never kill another submitter's task
+            # mid-simulation in a shared directory.
+            "--match",
+            match,
+        ]
+        if self.cache_dir is not None:
+            command += ["--cache-dir", str(self.cache_dir)]
+        # Workers must be able to import repro even when the submitter
+        # runs from a source checkout that was put on sys.path by hand
+        # (tests, conftest) rather than installed.
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if package_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        log = open(log_path, "ab")
+        try:
+            return subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+        finally:
+            log.close()
+
+    def run(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        if not payloads:
+            return []
+        if self.queue_dir is not None:
+            return self._run_in(ensure_queue_dirs(self.queue_dir), payloads)
+        with tempfile.TemporaryDirectory(prefix="repro-queue-") as tmp:
+            return self._run_in(ensure_queue_dirs(tmp), payloads)
+
+    def _reap_stale_results(self, root: Path) -> None:
+        """Collect orphan result files abandoned in a shared directory.
+
+        A submitter that timed out withdraws its files, but a claimant
+        that outlived the timeout may write its result afterwards with
+        nobody left to consume it.  Live submitters unlink results
+        within a poll tick, so anything old belongs to no one — but
+        "old" is judged from *other hosts'* mtimes, so the horizon is a
+        deliberately paranoid fixed week, far beyond any clock skew,
+        suspended submitter, or long custom ``timeout_s``: orphans
+        accumulate slowly, and deleting a live result would lose work.
+        """
+        horizon = time.time() - _STALE_RESULT_S
+        try:
+            entries = list(os.scandir(root / RESULTS_DIR))
+        except OSError:
+            return
+        for entry in entries:
+            try:
+                if entry.stat().st_mtime < horizon:
+                    os.unlink(entry.path)
+            except OSError:
+                continue
+
+    def _run_in(
+        self, root: Path, payloads: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        self._reap_stale_results(root)
+        job = uuid.uuid4().hex[:12]
+        task_ids = [f"{job}-{index:05d}" for index in range(len(payloads))]
+        for task_id, payload in zip(task_ids, payloads):
+            _atomic_write_json(
+                root / TASKS_DIR / f"{task_id}.json",
+                {"id": task_id, "spec": dict(payload)},
+            )
+        drainers: list[subprocess.Popen] = []
+        spawn = min(
+            self.workers if self.workers is not None else (os.cpu_count() or 1),
+            len(payloads),  # surplus drainers would only pay startup to exit
+        )
+        log_path = root / f"worker-{job}.log"
+        try:
+            for _ in range(spawn):
+                drainers.append(self._spawn_worker(root, log_path, f"{job}-"))
+            return self._collect(root, task_ids, drainers, log_path)
+        finally:
+            for proc in drainers:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in drainers:
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+            # On failure/timeout, withdraw this submission's leftovers so
+            # a shared queue's external workers don't burn compute on a
+            # sweep nobody is waiting for.  Best-effort: a claimant that
+            # outlives our timeout can still write an orphan result
+            # afterwards — _reap_stale_results on the next submission
+            # collects those.
+            for task_id in task_ids:
+                for subdir in (TASKS_DIR, CLAIMED_DIR, RESULTS_DIR):
+                    try:
+                        (root / subdir / f"{task_id}.json").unlink()
+                    except OSError:
+                        pass
+            try:
+                log_path.unlink()  # failures embed the log tail in the error
+            except OSError:
+                pass
+
+    def _scan_results(
+        self,
+        results_dir: Path,
+        pending: set[str],
+        collected: dict[str, dict[str, Any]],
+    ) -> bool:
+        """Collect every pending result currently on disk; True if any.
+
+        One ``scandir`` per tick, not one failing ``open`` per pending
+        task — the difference between O(results) and O(pending) syscalls
+        matters when thousands of cells wait on a network filesystem.
+        """
+        try:
+            present = {entry.name for entry in os.scandir(results_dir)}
+        except OSError:
+            return False
+        progressed = False
+        for task_id in sorted(pending):
+            name = f"{task_id}.json"
+            if name not in present:
+                continue
+            path = results_dir / name
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    envelope = json.load(fh)
+            except (OSError, ValueError):
+                continue  # mid-replace on an exotic fs; next tick has it
+            if envelope.get("error") is not None:
+                raise BackendError(
+                    f"work-queue task {task_id} failed in a worker:\n"
+                    f"{envelope['error']}"
+                )
+            collected[task_id] = envelope["result"]
+            pending.discard(task_id)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            progressed = True
+        return progressed
+
+    def _collect(
+        self,
+        root: Path,
+        task_ids: list[str],
+        drainers: list[subprocess.Popen],
+        log_path: Path,
+    ) -> list[dict[str, Any]]:
+        results_dir = root / RESULTS_DIR
+        pending = set(task_ids)
+        collected: dict[str, dict[str, Any]] = {}
+        last_progress = time.monotonic()
+        drainers_dead_rescan = False
+        while pending:
+            if self._scan_results(results_dir, pending, collected):
+                last_progress = time.monotonic()
+                drainers_dead_rescan = False
+                continue
+            if any(proc.poll() is None for proc in drainers):
+                # A live local drainer is computing (simulations always
+                # terminate) — a big cell legitimately takes as long as
+                # it takes, so the stall timeout does not apply here.
+                time.sleep(self.poll_interval_s)
+                continue
+            if drainers:
+                # Our drainers all exited.  A drainer may write its last
+                # result and exit between scan and liveness check —
+                # rescan once before judging, or that window is a flake.
+                if not drainers_dead_rescan:
+                    drainers_dead_rescan = True
+                    continue
+                # In a shared directory, another submitter's workers may
+                # have claimed our tasks (our --exit-when-empty drainers
+                # then see an empty queue and leave); a claimed task is
+                # being computed, so keep waiting under the timeout.
+                claimed = any(
+                    (root / CLAIMED_DIR / f"{task_id}.json").exists()
+                    for task_id in pending
+                )
+                if not claimed:
+                    log_tail = ""
+                    try:
+                        log_tail = log_path.read_text(encoding="utf-8")[-2000:]
+                    except OSError:
+                        pass
+                    raise BackendError(
+                        f"all {len(drainers)} local queue worker(s) exited "
+                        f"with {len(pending)} task(s) unfinished in {root}\n"
+                        f"{log_tail}"
+                    )
+            # External workers (or another submitter's claimants) own the
+            # remaining tasks: give up only when results stop arriving
+            # for timeout_s — a stalled fleet, or a claimant that died
+            # holding our tasks.
+            if time.monotonic() - last_progress > self.timeout_s:
+                raise BackendError(
+                    f"timed out after {self.timeout_s:.0f}s waiting for "
+                    f"{len(pending)} work-queue task(s) in {root}"
+                )
+            time.sleep(self.poll_interval_s)
+        return [collected[task_id] for task_id in task_ids]
+
+
+# ---------------------------------------------------------------------------
+# Resolution
+# ---------------------------------------------------------------------------
+_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    WorkQueueBackend.name: WorkQueueBackend,
+}
+
+
+def backend_names() -> list[str]:
+    """The registered backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def _instantiate(name: str, max_workers: int | None) -> ExecutionBackend:
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {backend_names()}"
+        ) from None
+    if cls is SerialBackend:
+        return SerialBackend()
+    if cls is ProcessPoolBackend:
+        return ProcessPoolBackend(max_workers=max_workers)
+    return WorkQueueBackend(workers=max_workers)
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None",
+    parallel: bool = True,
+    max_workers: int | None = None,
+) -> ExecutionBackend:
+    """Resolve the ``backend`` argument of :class:`BatchRunner`.
+
+    * an :class:`ExecutionBackend` instance is used as given;
+    * a name (``"serial"``, ``"process"``, ``"work_queue"``) is
+      instantiated with ``max_workers``;
+    * ``None`` with ``parallel=False`` is the legacy sequential path and
+      always resolves to :class:`SerialBackend` — explicit code intent
+      beats the environment;
+    * ``None`` otherwise honors ``REPRO_BATCH_BACKEND`` when set (the CI
+      backend matrix uses this) and defaults to
+      :class:`ProcessPoolBackend`.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend is None:
+        if not parallel:
+            return SerialBackend()
+        backend = os.environ.get(BACKEND_ENV_VAR) or ProcessPoolBackend.name
+    return _instantiate(str(backend), max_workers)

@@ -1,39 +1,52 @@
 """Multi-seed / multi-scenario batch execution.
 
 :class:`BatchRunner` sweeps a list of :class:`ExperimentSpec`s — most
-commonly one base spec across seeds via :func:`seed_sweep` — and runs
-them either sequentially or across worker processes with
-``concurrent.futures.ProcessPoolExecutor``.
+commonly one base spec across seeds via :func:`seed_sweep` — in three
+stages:
 
-Workers receive a spec as a plain dict and return the experiment result
-as a plain dict, so nothing unpicklable ever crosses the process
-boundary; the parent reconstructs typed :class:`ExperimentResult`s.  The
-sequential path round-trips through exactly the same dict encoding,
-which is what makes parallel and sequential sweeps bit-identical (the
-simulator's RNG streams are derived from the spec seeds with stable
-CRC32 spawn keys — see :func:`repro.engine.rng_spawn_key`).
+1. the :class:`repro.experiment.planner.SweepPlanner` deduplicates
+   identical specs, resolves :class:`ResultCache` hits up front, and
+   orders the remaining unique cells by estimated cost (slowest first);
+2. a pluggable :class:`repro.experiment.backends.ExecutionBackend`
+   executes those cells — inline (:class:`SerialBackend`), across local
+   processes (:class:`ProcessPoolBackend`), or through a shared
+   directory any worker host can drain (:class:`WorkQueueBackend`);
+3. results are scattered back to submission order and written back to
+   the cache (once per unique spec).
+
+Every backend speaks the same dict-in/dict-out protocol
+(:func:`repro.experiment.backends.run_spec_payload`): only plain dicts
+cross an execution boundary, and the simulator's RNG streams are derived
+from the spec seeds with stable CRC32 spawn keys (see
+:func:`repro.engine.rng_spawn_key`) — which is why serial, process-pool
+and work-queue sweeps of the same specs return byte-equal payloads, as
+the cross-backend determinism suite asserts.
 
 With a :class:`repro.experiment.cache.ResultCache` attached (or
-``REPRO_CACHE_DIR`` exported), the parent looks every spec up *before*
-fanning out: a fully warm sweep spawns zero worker processes, misses
-still run in parallel, and their payloads are written back on
-completion — so a repeated sweep is bit-identical to the cold run while
-costing only JSON reads.
+``REPRO_CACHE_DIR`` exported), a fully warm sweep dispatches zero cells;
+misses are simulated by the backend and written back on completion — so
+a repeated sweep is bit-identical to the cold run while costing only
+JSON reads.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.analysis.reporting import ExperimentReport, batch_summary_table
-from repro.experiment.runner import Experiment, ExperimentResult
+from repro.experiment.backends import BackendError, run_spec_payload
+from repro.experiment.planner import PlannerStats
+from repro.experiment.runner import ExperimentResult
 from repro.experiment.specs import ExperimentSpec
 
 if TYPE_CHECKING:
+    from repro.experiment.backends import ExecutionBackend
     from repro.experiment.cache import ResultCache
+
+#: Backward-compatible alias: the dict-in/dict-out worker protocol lived
+#: here before the backend abstraction was factored out.
+_run_spec_payload = run_spec_payload
 
 
 def seed_sweep(
@@ -55,24 +68,16 @@ def seed_sweep(
     ]
 
 
-def _run_spec_payload(payload: dict[str, Any]) -> dict[str, Any]:
-    """Process-pool entry point: spec dict in, result dict out.
-
-    Caching is disabled here even when ``REPRO_CACHE_DIR`` is set: the
-    parent already resolved lookups before fanning out and owns every
-    writeback, so workers must not contend for the cache index.
-    """
-    spec = ExperimentSpec.from_dict(payload)
-    return Experiment(spec, keep_decisions=False).run(cache=False).to_dict()
-
-
 @dataclass
 class BatchResult:
     """Results of a batch sweep, in submission order.
 
     ``cache_hits`` / ``cache_misses`` count how many cells were served
-    from the attached :class:`ResultCache` versus simulated (both stay 0
-    when no cache was in play).
+    from the attached :class:`ResultCache` versus simulated or shared
+    with a duplicate cell (both stay 0 when no cache was in play).
+    ``backend`` names the execution backend that ran the misses, and
+    ``planner`` carries the full :class:`PlannerStats` of the submission
+    (dedup, cache resolution, estimated cost).
     """
 
     results: list[ExperimentResult]
@@ -80,10 +85,12 @@ class BatchResult:
     parallel: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
+    backend: str = "serial"
+    planner: PlannerStats = field(default_factory=PlannerStats)
 
     @property
     def cache_hit_rate(self) -> float:
-        """Hits over sweep size, 0.0 for uncached sweeps."""
+        """Hits over sweep size, 0.0 for uncached or empty sweeps."""
         return self.cache_hits / len(self.results) if self.results else 0.0
 
     def __iter__(self):
@@ -104,9 +111,16 @@ class BatchResult:
 
     def report(self, title: str = "batch sweep") -> ExperimentReport:
         """Aggregate the sweep into a :class:`repro.analysis` report."""
-        mode = "process-parallel" if self.parallel else "sequential"
+        # Always name the backend: an external-drain work queue reports
+        # parallel=False (the submitter spawned no workers itself) but is
+        # anything but sequential, and provenance belongs in the record.
+        mode = "sequential" if self.backend == "serial" else f"{self.backend} backend"
+        if self.parallel:
+            mode += " (parallel)"
         if self.cache_hits:
             mode += f", {self.cache_hits}/{len(self.results)} from cache"
+        if self.planner.duplicates:
+            mode += f", {self.planner.duplicates} deduplicated"
         report = ExperimentReport(
             title, f"{len(self.results)} experiment(s), {mode}"
         )
@@ -116,26 +130,34 @@ class BatchResult:
 
 @dataclass
 class BatchRunner:
-    """Run many experiments, optionally across processes.
+    """Run many experiments through a planned, pluggable backend.
 
     Args:
         experiments: the specs to run (build with :func:`seed_sweep` for
             the common multi-seed case).
-        parallel: use a process pool (results are bit-identical to a
-            sequential run either way).
-        max_workers: process count (defaults to CPU count, capped at the
-            number of experiments left after cache hits).
+        parallel: legacy toggle, honored when no ``backend`` is given —
+            ``False`` forces the serial backend (and wins over
+            ``REPRO_BATCH_BACKEND``; explicit code intent beats the
+            environment), ``True`` (the default) uses the environment's
+            backend or the process pool.
+        max_workers: worker count for backends that fan out (defaults to
+            the CPU count, capped at the number of cells to execute).
         cache: result cache, resolved by
             :func:`repro.experiment.cache.resolve_cache` — pass a
             :class:`ResultCache`, ``True`` for the default cache,
             ``False`` to force caching off; the default ``None`` uses
             the default cache iff ``REPRO_CACHE_DIR`` is set.
+        backend: an :class:`ExecutionBackend` instance, a backend name
+            (``"serial"``, ``"process"``, ``"work_queue"``), or ``None``
+            to resolve from ``parallel``/``REPRO_BATCH_BACKEND`` (see
+            :func:`repro.experiment.backends.resolve_backend`).
     """
 
     experiments: Sequence[ExperimentSpec]
     parallel: bool = True
     max_workers: int | None = None
     cache: "ResultCache | None | bool" = None
+    backend: "ExecutionBackend | str | None" = None
     _payloads: list[dict[str, Any]] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -146,50 +168,55 @@ class BatchRunner:
     def run(self) -> BatchResult:
         import time
 
+        from repro.experiment.backends import resolve_backend
         from repro.experiment.cache import resolve_cache
+        from repro.experiment.planner import SweepPlanner
 
         wall_start = time.perf_counter()
         cache = resolve_cache(self.cache)
-
-        # Cache lookups happen here in the parent, before any fan-out:
-        # a fully warm sweep never pays process-pool startup.
-        raw: list[dict[str, Any] | None] = [None] * len(self._payloads)
-        if cache is not None:
-            for index, payload in enumerate(self._payloads):
-                raw[index] = cache.get_payload(payload)
-        misses = [index for index, data in enumerate(raw) if data is None]
-
-        workers = self.max_workers or min(
-            max(len(misses), 1), os.cpu_count() or 1
+        backend = resolve_backend(
+            self.backend, parallel=self.parallel, max_workers=self.max_workers
         )
-        use_pool = self.parallel and workers > 1 and len(misses) > 1
-        miss_payloads = [self._payloads[index] for index in misses]
-        if use_pool:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(_run_spec_payload, miss_payloads))
-        else:
-            fresh = [_run_spec_payload(payload) for payload in miss_payloads]
-        # Writebacks defer the index flush to a single write after the
-        # loop — one put per miss with a full index rewrite each would
-        # cost O(misses x index size).
-        for index, data in zip(misses, fresh):
-            raw[index] = data
-            if cache is not None:
-                cache.put_payload(
-                    self._payloads[index],
-                    data,
-                    label=self.experiments[index].label,
-                    flush=False,
-                )
-        if cache is not None and misses:
-            cache.flush()
 
-        results = [ExperimentResult.from_dict(data) for data in raw]
+        # Plan in the submitting process, before any fan-out: duplicates
+        # collapse to one job each, cache hits never reach the backend
+        # (a fully warm sweep dispatches nothing), and the remaining
+        # jobs are ordered slowest-first.
+        plan = SweepPlanner(cache).plan(
+            self._payloads, labels=[spec.label for spec in self.experiments]
+        )
+        if plan.jobs:
+            fresh = backend.run([job.payload for job in plan.jobs])
+            if len(fresh) != len(plan.jobs):
+                # Guard the public ExecutionBackend contract here, where
+                # the misbehaving backend can still be named — a silent
+                # zip truncation would crash far from the cause.
+                raise BackendError(
+                    f"backend {backend.name!r} returned {len(fresh)} result(s) "
+                    f"for {len(plan.jobs)} dispatched job(s)"
+                )
+            for job, data in zip(plan.jobs, fresh):
+                plan.scatter(job, data)
+            if cache is not None:
+                # One writeback per unique executed spec, one index
+                # flush for the whole sweep; the planner's digests are
+                # reused so nothing is hashed twice.
+                cache.put_payloads(
+                    (
+                        (job.payload, data, job.label)
+                        for job, data in zip(plan.jobs, fresh)
+                    ),
+                    digests=(job.digest for job in plan.jobs),
+                )
+
+        results = [ExperimentResult.from_dict(data) for data in plan.results]
         cached = cache is not None
         return BatchResult(
             results=results,
             wall_time_s=time.perf_counter() - wall_start,
-            parallel=use_pool,
-            cache_hits=len(self._payloads) - len(misses) if cached else 0,
-            cache_misses=len(misses) if cached else 0,
+            parallel=backend.workers_for(len(plan.jobs)) > 1,
+            cache_hits=plan.stats.cache_hits if cached else 0,
+            cache_misses=plan.stats.cache_misses if cached else 0,
+            backend=backend.name,
+            planner=plan.stats,
         )

@@ -41,7 +41,11 @@ variable also turns caching on by default for every
 explicit ``cache`` argument (see :func:`resolve_cache`).
 
 The cache is safe for the batch runner's usage — lookups and writebacks
-happen in one parent process — and tolerates concurrent *readers*.
+happen in one submitting process, bulk-written via :meth:`put_payloads`
+— and tolerates concurrent *readers*.  The same guarantees are what let
+a fleet of work-queue workers (``python -m repro.experiment.worker
+--cache-dir ...``) write back into one shared store while they drain a
+queue.
 Concurrent writers sharing one directory are supported best-effort:
 payload files are content-addressed and written atomically (unique temp
 names + ``os.replace``), and every index write re-merges entries found
@@ -55,11 +59,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
+from repro.experiment.fsio import atomic_write_text as _atomic_write_text
 from repro.experiment.runner import ExperimentResult
 from repro.experiment.specs import SPEC_SCHEMA_VERSION, ExperimentSpec, spec_digest
 
@@ -92,29 +96,6 @@ def _coerce_entry(value: Any) -> dict[str, Any] | None:
     except (TypeError, ValueError):
         return None
 
-
-def _atomic_write_text(target: Path, text: str) -> None:
-    """Write ``text`` to ``target`` atomically.
-
-    The temporary file gets a unique name (``tempfile.mkstemp`` in the
-    target's directory), so concurrent processes sharing a cache
-    directory can never rename each other's half-written files out from
-    under the ``os.replace``; last writer wins, which is all the index
-    bookkeeping needs.
-    """
-    fd, tmp_name = tempfile.mkstemp(
-        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(text)
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
 
 #: Default bounds: generous for sweep workloads (a fig14-sized payload is
 #: a few KiB) while keeping a forgotten cache directory bounded.
@@ -269,14 +250,18 @@ class ResultCache:
 
     # ---------------------------------------------------------- payload-level
     def get_payload(
-        self, spec: ExperimentSpec | Mapping[str, Any]
+        self,
+        spec: ExperimentSpec | Mapping[str, Any],
+        digest: str | None = None,
     ) -> dict[str, Any] | None:
         """The stored result dict for ``spec``, or ``None`` on a miss.
 
         A corrupt or externally deleted payload file counts as a miss and
-        drops the stale index entry.
+        drops the stale index entry.  ``digest`` lets callers that
+        already hold ``self.key(spec)`` (the sweep planner) skip the
+        canonical-JSON + sha256 pass.
         """
-        digest = self.key(spec)
+        digest = digest if digest is not None else self.key(spec)
         index = self._load_index()
         if digest in index:
             try:
@@ -311,6 +296,7 @@ class ResultCache:
         payload: Mapping[str, Any],
         label: str = "",
         flush: bool = True,
+        digest: str | None = None,
     ) -> str:
         """Store a result dict under ``spec``'s digest; returns the digest.
 
@@ -320,8 +306,10 @@ class ResultCache:
         instead of paying a full index read-merge-rewrite per cell.  A
         crash before the flush costs at most a future miss on the
         unindexed digests — the next cold run simply rewrites them.
+        ``digest``, when the caller already holds ``self.key(spec)``,
+        skips recomputing it.
         """
-        digest = self.key(spec)
+        digest = digest if digest is not None else self.key(spec)
         path = self._payload_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         encoded = json.dumps(payload, sort_keys=True)
@@ -338,6 +326,35 @@ class ResultCache:
         if flush:
             self._write_index()
         return digest
+
+    def put_payloads(
+        self,
+        items: "Iterable[tuple[Mapping[str, Any], Mapping[str, Any], str]]",
+        digests: "Iterable[str | None] | None" = None,
+    ) -> list[str]:
+        """Bulk shared-store writeback: store ``(spec, payload, label)``
+        triples with a single index flush at the end.
+
+        This is the batch runner's writeback path (work-queue workers
+        batch differently — per task with deferred flushes): each
+        payload file lands atomically as it is written, so concurrent
+        writers sharing one store can bulk-write safely, while the
+        index — whose rewrite costs O(entries) — is merged and flushed
+        once per sweep instead of once per cell.  ``digests`` optionally
+        supplies precomputed keys, parallel to ``items``.  Returns the
+        digests in input order.
+        """
+        from itertools import repeat
+
+        stored = [
+            self.put_payload(spec, payload, label=label, flush=False, digest=digest)
+            for (spec, payload, label), digest in zip(
+                items, digests if digests is not None else repeat(None)
+            )
+        ]
+        if stored:
+            self._write_index()
+        return stored
 
     # ------------------------------------------------------------ typed-level
     def get(self, spec: ExperimentSpec) -> ExperimentResult | None:

@@ -1,0 +1,39 @@
+"""Atomic filesystem writes shared by the result cache and the work queue.
+
+Both subsystems let multiple processes — cache writers sharing one
+store, queue submitters and workers sharing one directory — write into
+the same tree, so every write must be atomic and collision-free.  A
+future durability change (say, fsync-before-replace) belongs here, once,
+not in per-module copies.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(target: Path, text: str) -> None:
+    """Write ``text`` to ``target`` atomically.
+
+    The temporary file gets a unique name (``tempfile.mkstemp`` in the
+    target's directory), so concurrent processes sharing a directory can
+    never rename each other's half-written files out from under the
+    ``os.replace``; last writer wins, which is all the callers need.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,245 @@
+"""Cache-aware sweep planning.
+
+Before a batch sweep fans out to an execution backend, the
+:class:`SweepPlanner` turns the raw list of spec payloads into an
+execution plan:
+
+1. **Deduplicate** — cells with the same content address
+   (:func:`repro.experiment.specs.spec_digest`) are one job; a sweep
+   that names the same spec five times simulates it once and scatters
+   the payload to all five submission slots.
+2. **Resolve the cache** — each *unique* spec is looked up in the
+   :class:`repro.experiment.cache.ResultCache` exactly once; hits fill
+   their submission slots up front and never reach the backend.
+3. **Order by estimated cost** — the remaining jobs are sorted by
+   :func:`estimate_cost_s`, most expensive first, so the slowest cells
+   start as soon as workers are available and the sweep's wall clock
+   approaches ``max(cell) + spillover`` instead of being hostage to a
+   long cell scheduled last (classic LPT scheduling).
+
+Planning is pure bookkeeping: results are scattered back to submission
+order afterwards, so the plan can never change *what* a sweep returns —
+only how little work and wall clock it takes to return it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.experiment.specs import spec_digest
+
+if TYPE_CHECKING:
+    from repro.experiment.cache import ResultCache
+
+__all__ = [
+    "PlannedJob",
+    "PlannerStats",
+    "SweepPlan",
+    "SweepPlanner",
+    "estimate_cost_s",
+]
+
+#: Node-count guesses per scenario for builders that fix their own
+#: topology (the registry's built-ins); unknown scenarios fall back to
+#: the testbed size — overestimating keeps big unknown cells early.
+_SCENARIO_NODE_COUNTS = {
+    "chain": 3,  # the builder's default chain length
+    "testbed": 18,
+    "random_multiflow": 18,
+    "starvation": 3,
+}
+_DEFAULT_NODE_COUNT = 18
+
+
+def _node_count(scenario: Mapping[str, Any]) -> int:
+    """Best-effort node count of a scenario payload (cost heuristic only)."""
+    topology = scenario.get("topology")
+    if isinstance(topology, Mapping):
+        kind = topology.get("kind")
+        if kind == "chain":
+            return int(topology.get("num_nodes", 3))
+        if kind == "grid":
+            return int(topology.get("rows", 1)) * int(topology.get("cols", 1))
+        if kind == "testbed":
+            return 18
+        if kind == "positions":
+            return max(len(topology.get("positions", ())), 2)
+    return _SCENARIO_NODE_COUNTS.get(
+        str(scenario.get("scenario", "")), _DEFAULT_NODE_COUNT
+    )
+
+
+def estimate_cost_s(payload: Mapping[str, Any]) -> float:
+    """Estimated relative cost of simulating one spec payload.
+
+    Simulated seconds dominate a cell's wall clock: probe warmup (paid
+    only when the controller is enabled, mirroring the runner's
+    schedule) plus ``cycles x cycle_measure_s``, scaled by the node
+    count (more nodes, more events per simulated second).  The absolute
+    value is meaningless; only the ordering it induces matters, and ties
+    fall back to submission order so plans stay deterministic.
+    """
+    scenario = payload.get("scenario", {})
+    controller = payload.get("controller", {})
+    probing = payload.get("probing", {})
+    warmup_s = (
+        float(probing.get("warmup_s", 0.0))
+        if controller.get("enabled", True)
+        else 0.0
+    )
+    measure_s = float(payload.get("cycles", 1)) * float(
+        payload.get("cycle_measure_s", 0.0)
+    )
+    return (warmup_s + measure_s) * max(_node_count(scenario), 1)
+
+
+@dataclass(frozen=True)
+class PlannedJob:
+    """One unique spec the backend must actually execute."""
+
+    payload: dict[str, Any]
+    indices: tuple[int, ...]  # submission slots this job's result fills
+    digest: str
+    est_cost_s: float
+    label: str = ""
+
+
+@dataclass
+class PlannerStats:
+    """What planning saved: dedup, cache resolution, and ordering.
+
+    All rates are safe on empty sweeps (0.0, never a ZeroDivisionError).
+    """
+
+    total: int = 0
+    unique: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_used: bool = False
+    est_cost_s: float = 0.0
+
+    @property
+    def duplicates(self) -> int:
+        """Submission slots resolved by sharing another slot's result."""
+        return self.total - self.unique
+
+    @property
+    def cache_misses(self) -> int:
+        """Slots a cache was consulted for and could not serve — 0 for a
+        planned-without-cache sweep, matching ``BatchResult.cache_misses``
+        (an uncached sweep *has* no misses, it just wasn't cached)."""
+        return self.total - self.cache_hits if self.cache_used else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache-served slots over all slots; 0.0 for an empty sweep."""
+        return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def dedup_rate(self) -> float:
+        """Duplicate slots over all slots; 0.0 for an empty sweep."""
+        return self.duplicates / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "duplicates": self.duplicates,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "dedup_rate": self.dedup_rate,
+            "est_cost_s": self.est_cost_s,
+        }
+
+
+@dataclass
+class SweepPlan:
+    """The executable form of one submission.
+
+    ``results`` is pre-filled (in submission order) with every payload
+    the cache resolved; ``jobs`` are the remaining unique cells, most
+    expensive first.  After the backend ran the jobs, scatter each
+    result to ``job.indices`` and the sweep is complete.
+    """
+
+    jobs: list[PlannedJob]
+    results: list[dict[str, Any] | None]
+    stats: PlannerStats = field(default_factory=PlannerStats)
+
+    def scatter(self, job: PlannedJob, payload: dict[str, Any]) -> None:
+        """Fill every submission slot ``job`` stands for with ``payload``."""
+        for index in job.indices:
+            self.results[index] = payload
+
+
+@dataclass
+class SweepPlanner:
+    """Plans submissions for the batch runner (see the module docstring).
+
+    Args:
+        cache: resolve unique cells against this
+            :class:`ResultCache` before execution; ``None`` plans a
+            cold sweep (dedup and ordering still apply).
+    """
+
+    cache: "ResultCache | None" = None
+
+    def plan(
+        self,
+        payloads: Sequence[Mapping[str, Any]],
+        labels: Sequence[str] | None = None,
+    ) -> SweepPlan:
+        order: list[str] = []
+        payload_of: dict[str, dict[str, Any]] = {}
+        label_of: dict[str, str] = {}
+        indices: dict[str, list[int]] = {}
+        for index, payload in enumerate(payloads):
+            digest = (
+                self.cache.key(payload)
+                if self.cache is not None
+                else spec_digest(payload)
+            )
+            if digest not in indices:
+                order.append(digest)
+                payload_of[digest] = dict(payload)
+                label_of[digest] = labels[index] if labels else ""
+                indices[digest] = []
+            indices[digest].append(index)
+
+        results: list[dict[str, Any] | None] = [None] * len(payloads)
+        stats = PlannerStats(
+            total=len(payloads),
+            unique=len(order),
+            cache_used=self.cache is not None,
+        )
+        jobs: list[PlannedJob] = []
+        for digest in order:
+            job = PlannedJob(
+                payload=payload_of[digest],
+                indices=tuple(indices[digest]),
+                digest=digest,
+                est_cost_s=estimate_cost_s(payload_of[digest]),
+                label=label_of[digest],
+            )
+            cached = (
+                self.cache.get_payload(job.payload, digest=job.digest)
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                for index in job.indices:
+                    results[index] = cached
+                stats.cache_hits += len(job.indices)
+            else:
+                jobs.append(job)
+        # Longest-processing-time-first: slowest cells start first.  The
+        # (-cost, first-index) key keeps equal-cost jobs in submission
+        # order, so plans — and therefore backend dispatch — stay
+        # deterministic.
+        jobs.sort(key=lambda job: (-job.est_cost_s, job.indices[0]))
+        stats.executed = len(jobs)
+        stats.est_cost_s = sum(job.est_cost_s for job in jobs)
+        return SweepPlan(jobs=jobs, results=results, stats=stats)

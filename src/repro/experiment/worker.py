@@ -1,0 +1,243 @@
+"""Work-queue drainer: ``python -m repro.experiment.worker <queue_dir>``.
+
+The executable half of :class:`repro.experiment.backends.WorkQueueBackend`.
+A worker watches ``<queue_dir>/tasks/`` for task files (``{"id": ...,
+"spec": <canonical spec dict>}``), claims one by atomically renaming it
+into ``claimed/`` — the rename is the lock; exactly one claimant wins —
+runs :func:`repro.experiment.backends.run_spec_payload` on the spec, and
+writes ``{"id": ..., "result": <result dict>}`` (or ``{"id": ...,
+"error": <traceback>}``) into ``results/``.
+
+Any number of workers on any hosts sharing the directory can drain the
+same queue; determinism is the engine's, not the scheduler's — a spec's
+result payload is byte-identical no matter which worker ran it.  With
+``--cache-dir`` every computed result is also written into a shared
+content-addressed :class:`repro.experiment.cache.ResultCache`
+(concurrent-writer-safe), so a fleet of workers warms one store as a
+side effect of draining the queue.
+
+Typical remote session::
+
+    # on each worker host (shared filesystem or synced directory):
+    python -m repro.experiment.worker /mnt/sweeps/queue \\
+        --cache-dir /mnt/sweeps/cache
+
+    # on the submitting host:
+    BatchRunner(specs, backend=WorkQueueBackend("/mnt/sweeps/queue",
+                                                workers=0)).run()
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+import traceback
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.experiment.backends import (
+    CLAIMED_DIR,
+    RESULTS_DIR,
+    TASKS_DIR,
+    _atomic_write_json,
+    ensure_queue_dirs,
+    run_spec_payload,
+)
+
+if TYPE_CHECKING:
+    from repro.experiment.cache import ResultCache
+
+__all__ = ["claim_next_task", "drain_queue", "main"]
+
+
+def claim_next_task(root: Path, match: str = "") -> Path | None:
+    """Claim the oldest pending task, or ``None`` when the queue is empty.
+
+    Claiming renames the task file into ``claimed/``; the rename either
+    succeeds (this worker owns the task) or raises because another
+    worker got there first, in which case the next candidate is tried.
+    ``match`` restricts claims to task files whose name starts with that
+    prefix — how a submitter's own short-lived drainers stay off other
+    submitters' tasks in a shared directory.
+    """
+    tasks_dir = root / TASKS_DIR
+    try:
+        candidates = sorted(
+            p
+            for p in tasks_dir.iterdir()
+            if p.suffix == ".json" and p.name.startswith(match)
+        )
+    except OSError:
+        return None
+    for candidate in candidates:
+        claimed = root / CLAIMED_DIR / candidate.name
+        try:
+            os.replace(candidate, claimed)
+        except OSError:
+            continue  # lost the race; try the next task
+        return claimed
+    return None
+
+
+def _execute(claimed: Path, root: Path, cache: "ResultCache | None") -> bool:
+    """Run one claimed task; returns True when the shared cache is dirty
+    (a payload was written with its index flush deferred to the caller)."""
+    cache_dirty = False
+    try:
+        with open(claimed, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+        task_id = str(envelope["id"])
+        spec_payload: dict[str, Any] = envelope["spec"]
+        result = run_spec_payload(spec_payload)
+        if cache is not None:
+            # Shared-store writeback: content-addressed and atomic, so
+            # any number of workers can target one cache directory.  A
+            # failing store (unwritable, full) must never poison the
+            # computed result — the writeback is best-effort.
+            try:
+                cache.put_payload(
+                    spec_payload,
+                    result,
+                    label=spec_payload.get("label", ""),
+                    flush=False,
+                )
+                cache_dirty = True
+            except Exception:
+                print(
+                    f"warning: shared-cache writeback failed for {task_id}:\n"
+                    f"{traceback.format_exc()}",
+                    flush=True,
+                )
+        outcome: dict[str, Any] = {"id": task_id, "result": result}
+    except Exception:
+        # Report the failure to the submitter instead of dying silently —
+        # a lost task would hang the submitting BatchRunner until timeout.
+        task_id = claimed.stem
+        outcome = {"id": task_id, "error": traceback.format_exc()}
+    _atomic_write_json(root / RESULTS_DIR / f"{task_id}.json", outcome)
+    try:
+        claimed.unlink()
+    except OSError:
+        pass
+    return cache_dirty
+
+
+def drain_queue(
+    queue_dir: str | os.PathLike[str],
+    max_tasks: int | None = None,
+    idle_timeout_s: float | None = None,
+    poll_interval_s: float = 0.05,
+    exit_when_empty: bool = False,
+    cache: "ResultCache | None" = None,
+    match: str = "",
+) -> int:
+    """Drain tasks from ``queue_dir``; returns how many were executed.
+
+    Runs until ``max_tasks`` tasks were executed, the queue has stayed
+    empty for ``idle_timeout_s``, or — with ``exit_when_empty`` — the
+    first moment no pending task is found.  With no stop condition it
+    drains forever (the long-lived remote-worker mode).  ``match``
+    restricts claims to task names with that prefix (see
+    :func:`claim_next_task`).
+
+    Shared-cache writebacks are batched: payload files land atomically
+    per task, but the O(entries) index flush is deferred to idle moments
+    and to exit, so a busy worker never pays an index rewrite per cell.
+    """
+    root = ensure_queue_dirs(queue_dir)
+    executed = 0
+    cache_dirty = False
+    idle_since = time.monotonic()
+
+    def flush_cache() -> None:
+        nonlocal cache_dirty
+        if cache is not None and cache_dirty:
+            try:
+                cache.flush()
+            except Exception:
+                print(
+                    f"warning: shared-cache flush failed:\n{traceback.format_exc()}",
+                    flush=True,
+                )
+            cache_dirty = False
+
+    try:
+        while max_tasks is None or executed < max_tasks:
+            claimed = claim_next_task(root, match)
+            if claimed is None:
+                flush_cache()
+                if exit_when_empty:
+                    break
+                if (
+                    idle_timeout_s is not None
+                    and time.monotonic() - idle_since > idle_timeout_s
+                ):
+                    break
+                time.sleep(poll_interval_s)
+                continue
+            cache_dirty = _execute(claimed, root, cache) or cache_dirty
+            executed += 1
+            idle_since = time.monotonic()
+    finally:
+        flush_cache()
+    return executed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiment.worker",
+        description="Drain a repro work-queue directory "
+        "(see repro.experiment.backends.WorkQueueBackend).",
+    )
+    parser.add_argument("queue_dir", help="the shared queue directory")
+    parser.add_argument(
+        "--max-tasks", type=int, default=None, help="exit after this many tasks"
+    )
+    parser.add_argument(
+        "--idle-timeout-s",
+        type=float,
+        default=None,
+        help="exit after the queue has been empty for this long",
+    )
+    parser.add_argument(
+        "--poll-interval-s", type=float, default=0.05, help="queue scan interval"
+    )
+    parser.add_argument(
+        "--exit-when-empty",
+        action="store_true",
+        help="exit the first time no pending task is found",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="also write every computed result into this shared ResultCache",
+    )
+    parser.add_argument(
+        "--match",
+        default="",
+        help="only claim task files whose name starts with this prefix "
+        "(used by submitters' own drainers to leave other submissions alone)",
+    )
+    args = parser.parse_args(argv)
+    cache = None
+    if args.cache_dir:
+        from repro.experiment.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    executed = drain_queue(
+        args.queue_dir,
+        max_tasks=args.max_tasks,
+        idle_timeout_s=args.idle_timeout_s,
+        poll_interval_s=args.poll_interval_s,
+        exit_when_empty=args.exit_when_empty,
+        cache=cache,
+        match=args.match,
+    )
+    print(f"drained {executed} task(s) from {args.queue_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

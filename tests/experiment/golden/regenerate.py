@@ -1,0 +1,135 @@
+"""Golden-result fixtures: one frozen ExperimentResult per scenario.
+
+This module is the single source of truth for the golden regression
+suite: it defines the spec grid (one small experiment per registered
+scenario), the canonical serialization, and the regeneration entry
+point.  ``tests/experiment/test_golden.py`` imports it to re-run the
+same specs and compare byte-for-byte against the committed JSON.
+
+The fixtures freeze the *full simulation stack*: any change to the
+engine, PHY/MAC/transport models, estimators, optimizer, or spec
+semantics that alters results will fail the golden test.  When such a
+change is intentional:
+
+1. bump ``SPEC_SCHEMA_VERSION`` in ``repro/experiment/specs.py`` if the
+   change invalidates cached results (it almost certainly does);
+2. regenerate the fixtures::
+
+       PYTHONPATH=src python tests/experiment/golden/regenerate.py
+
+3. commit the refreshed JSON together with the change, and say in the
+   commit message *why* the goldens moved.
+
+Never regenerate to silence a failure you cannot explain — a moved
+golden with no intentional semantics change is a determinism bug.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+if __name__ == "__main__":  # running as a script from a source checkout
+    _SRC = GOLDEN_DIR.parents[2] / "src"
+    if str(_SRC) not in sys.path:
+        sys.path.insert(0, str(_SRC))
+
+from repro import (  # noqa: E402
+    ControllerSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    FlowSpec,
+    ProbingSpec,
+    ScenarioSpec,
+    run_experiment,
+)
+
+#: One deliberately small experiment per registered scenario.  Keep these
+#: cheap (well under a second each): they run in every tier-1 pass.
+GOLDEN_SPECS: dict[str, ExperimentSpec] = {
+    "chain": ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="chain",
+            seed=2,
+            flows=(FlowSpec("udp", (0, 1, 2)), FlowSpec("udp", (1, 2))),
+        ),
+        probing=ProbingSpec(warmup_s=5.0),
+        controller=ControllerSpec(alpha=1.0, probing_window=40),
+        cycles=1,
+        cycle_measure_s=3.0,
+        settle_s=0.5,
+        label="golden-chain",
+    ),
+    "testbed": ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="testbed", seed=3, flows=(FlowSpec("udp", (0, 1)),)
+        ),
+        controller=ControllerSpec(enabled=False),
+        cycles=1,
+        cycle_measure_s=3.0,
+        settle_s=0.5,
+        label="golden-testbed",
+    ),
+    "random_multiflow": ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="random_multiflow",
+            seed=5,
+            num_flows=2,
+            max_hops=3,
+            rate_mode="11",
+            transport="udp",
+        ),
+        probing=ProbingSpec(warmup_s=5.0),
+        controller=ControllerSpec(alpha=1.0, probing_window=40),
+        cycles=1,
+        cycle_measure_s=3.0,
+        settle_s=0.5,
+        label="golden-random_multiflow",
+    ),
+    "starvation": ExperimentSpec(
+        scenario=ScenarioSpec(scenario="starvation", seed=0, data_rate_mbps=1),
+        probing=ProbingSpec(warmup_s=8.0),
+        controller=ControllerSpec(alpha=1.0, probing_window=60),
+        cycles=1,
+        cycle_measure_s=5.0,
+        settle_s=1.0,
+        label="golden-starvation",
+    ),
+}
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def canonical_json(result: ExperimentResult) -> str:
+    """The frozen byte representation: runtime excluded (host-dependent),
+    keys sorted, trailing newline — so fixtures diff cleanly in git."""
+    return (
+        json.dumps(result.to_dict(include_runtime=False), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def compute(name: str) -> str:
+    """Run the golden experiment ``name`` and return its canonical JSON."""
+    return canonical_json(
+        run_experiment(GOLDEN_SPECS[name], keep_decisions=False, cache=False)
+    )
+
+
+def main() -> int:
+    for name in GOLDEN_SPECS:
+        path = golden_path(name)
+        text = compute(name)
+        changed = not path.exists() or path.read_text(encoding="utf-8") != text
+        path.write_text(text, encoding="utf-8")
+        print(f"{'rewrote' if changed else 'unchanged'}  {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,330 @@
+"""Execution backends: resolution, the work-queue protocol, and the
+cross-backend determinism guarantee the ROADMAP's distributed ambitions
+rest on — serial, process-pool and work-queue sweeps of the same specs
+must return byte-equal payloads, cold and cache-warm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Mapping, Sequence
+
+import pytest
+
+from repro.experiment import (
+    BackendError,
+    BatchRunner,
+    ControllerSpec,
+    ExecutionBackend,
+    ExperimentSpec,
+    FlowSpec,
+    ProbingSpec,
+    ProcessPoolBackend,
+    ResultCache,
+    ScenarioSpec,
+    SerialBackend,
+    WorkQueueBackend,
+    backend_names,
+    resolve_backend,
+    run_spec_payload,
+    seed_sweep,
+)
+from repro.experiment.backends import BACKEND_ENV_VAR, TASKS_DIR, ensure_queue_dirs
+from repro.experiment.worker import claim_next_task, drain_queue
+
+# Cheap noRC chain cell: no probing warmup, one second of traffic.
+FAST_SPEC = ExperimentSpec(
+    scenario=ScenarioSpec(
+        scenario="chain", seed=1, flows=(FlowSpec("udp", (0, 1, 2)),)
+    ),
+    controller=ControllerSpec(enabled=False),
+    cycles=1,
+    cycle_measure_s=1.0,
+    settle_s=0.2,
+    label="backend-smoke",
+)
+
+
+def canonical(payloads: list[dict]) -> str:
+    """Byte-comparable form of a result payload list."""
+    return json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+
+
+class RecordingBackend(SerialBackend):
+    """Serial backend that records every payload it was asked to run."""
+
+    def __init__(self) -> None:
+        self.executed: list[dict[str, Any]] = []
+
+    def run(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        self.executed.extend(dict(p) for p in payloads)
+        return super().run(payloads)
+
+
+class TestResolution:
+    def test_names(self):
+        assert backend_names() == ["process", "serial", "work_queue"]
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_by_name(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        process = resolve_backend("process", max_workers=3)
+        assert isinstance(process, ProcessPoolBackend)
+        assert process.max_workers == 3
+        queue = resolve_backend("work_queue", max_workers=2)
+        assert isinstance(queue, WorkQueueBackend)
+        assert queue.workers == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("quantum")
+
+    def test_default_is_process_pool(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(resolve_backend(None), ProcessPoolBackend)
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_parallel_false_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "work_queue")
+        assert isinstance(resolve_backend(None, parallel=False), SerialBackend)
+
+    def test_workers_for(self, tmp_path):
+        assert SerialBackend().workers_for(8) == 1
+        assert ProcessPoolBackend(max_workers=4).workers_for(8) == 4
+        assert ProcessPoolBackend(max_workers=4).workers_for(1) == 1
+        assert WorkQueueBackend(workers=2).workers_for(8) == 2
+        # External drain: parallelism is the remote fleet's, unknown here.
+        assert WorkQueueBackend(tmp_path, workers=0).workers_for(8) == 1
+
+    def test_external_drain_requires_a_visible_queue(self):
+        with pytest.raises(ValueError, match="external drain"):
+            WorkQueueBackend(workers=0)
+
+    def test_empty_submission_is_a_noop(self):
+        assert SerialBackend().run([]) == []
+        assert ProcessPoolBackend().run([]) == []
+        assert WorkQueueBackend(workers=1).run([]) == []
+
+
+class TestWorkQueueProtocol:
+    """The file protocol itself, drained in-process (no subprocesses)."""
+
+    def test_claim_is_exclusive_and_ordered(self, tmp_path):
+        root = ensure_queue_dirs(tmp_path)
+        for task_id in ("b-00001", "a-00000"):
+            (root / TASKS_DIR / f"{task_id}.json").write_text(
+                json.dumps({"id": task_id, "spec": {}}), encoding="utf-8"
+            )
+        first = claim_next_task(root)
+        assert first is not None and first.stem == "a-00000"  # oldest name first
+        assert not (root / TASKS_DIR / "a-00000.json").exists()
+        second = claim_next_task(root)
+        assert second is not None and second.stem == "b-00001"
+        assert claim_next_task(root) is None
+
+    def test_claim_respects_match_prefix(self, tmp_path):
+        """A submitter's own drainers must leave other submissions'
+        tasks alone, or terminating them could kill foreign work."""
+        root = ensure_queue_dirs(tmp_path)
+        for task_id in ("mine-00000", "theirs-00000"):
+            (root / TASKS_DIR / f"{task_id}.json").write_text(
+                json.dumps({"id": task_id, "spec": {}}), encoding="utf-8"
+            )
+        claimed = claim_next_task(root, match="mine-")
+        assert claimed is not None and claimed.stem == "mine-00000"
+        assert claim_next_task(root, match="mine-") is None
+        assert (root / TASKS_DIR / "theirs-00000.json").exists()
+
+    def test_drain_executes_and_writes_result(self, tmp_path):
+        root = ensure_queue_dirs(tmp_path)
+        payload = FAST_SPEC.to_dict()
+        (root / TASKS_DIR / "t-00000.json").write_text(
+            json.dumps({"id": "t-00000", "spec": payload}), encoding="utf-8"
+        )
+        assert drain_queue(root, exit_when_empty=True) == 1
+        envelope = json.loads(
+            (root / "results" / "t-00000.json").read_text(encoding="utf-8")
+        )
+        assert envelope["id"] == "t-00000"
+        expected = run_spec_payload(payload)
+        assert (
+            canonical([_strip_runtime(envelope["result"])])
+            == canonical([_strip_runtime(expected)])
+        )
+
+    def test_drain_reports_bad_spec_as_error_envelope(self, tmp_path):
+        root = ensure_queue_dirs(tmp_path)
+        (root / TASKS_DIR / "t-00000.json").write_text(
+            json.dumps({"id": "t-00000", "spec": {"not": "a spec"}}),
+            encoding="utf-8",
+        )
+        assert drain_queue(root, exit_when_empty=True) == 1
+        envelope = json.loads(
+            (root / "results" / "t-00000.json").read_text(encoding="utf-8")
+        )
+        assert "SpecError" in envelope["error"]
+
+    def test_drain_writes_back_to_shared_cache(self, tmp_path):
+        root = ensure_queue_dirs(tmp_path / "queue")
+        cache = ResultCache(tmp_path / "store")
+        payload = FAST_SPEC.to_dict()
+        (root / TASKS_DIR / "t-00000.json").write_text(
+            json.dumps({"id": "t-00000", "spec": payload}), encoding="utf-8"
+        )
+        assert drain_queue(root, exit_when_empty=True, cache=cache) == 1
+        shared = ResultCache(tmp_path / "store")  # a different handle
+        assert shared.get_payload(payload) is not None
+
+    def test_stale_orphan_results_are_reaped(self, tmp_path):
+        """Results abandoned by a timed-out submission are collected by
+        the next submission sharing the directory."""
+        root = ensure_queue_dirs(tmp_path / "queue")
+        orphan = root / "results" / "dead-00000.json"
+        fresh = root / "results" / "live-00000.json"
+        for path in (orphan, fresh):
+            path.write_text("{}", encoding="utf-8")
+        ancient = time.time() - 30 * 24 * 3600  # far past the week horizon
+        os.utime(orphan, (ancient, ancient))
+        backend = WorkQueueBackend(tmp_path / "queue", workers=1, timeout_s=60.0)
+        backend.run([FAST_SPEC.to_dict()])
+        # Reaped past the fixed one-week horizon (_STALE_RESULT_S —
+        # deliberately independent of timeout_s, see _reap_stale_results).
+        assert not orphan.exists()
+        assert fresh.exists()  # could belong to a live submission: kept
+        fresh.unlink()
+
+    def test_backend_surfaces_worker_failure(self, tmp_path):
+        backend = WorkQueueBackend(tmp_path / "queue", workers=1, timeout_s=60.0)
+        with pytest.raises(BackendError, match="SpecError"):
+            backend.run([{"cycles": -1}, FAST_SPEC.to_dict()])
+        # The failed submission withdrew its leftovers: a shared queue's
+        # external workers must not burn compute on an abandoned sweep.
+        assert not any((tmp_path / "queue" / TASKS_DIR).iterdir())
+        assert not any((tmp_path / "queue" / "results").iterdir())
+
+
+class TestCrossBackendDeterminism:
+    """The acceptance bar: identical payloads from every backend,
+    cold and cache-warm, with duplicated specs simulated exactly once."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # Three unique cells plus a duplicate of the first.
+        sweep = seed_sweep(FAST_SPEC, range(3))
+        return sweep + [FAST_SPEC.with_seed(0)]
+
+    @pytest.fixture(scope="class")
+    def reference(self, sweep):
+        return BatchRunner(sweep, backend=SerialBackend(), cache=False).run()
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("backend_name", ["serial", "process", "work_queue"])
+    def test_cold_and_warm_runs_are_byte_equal(
+        self, backend_name, sweep, reference, tmp_path
+    ):
+        def make_backend():
+            if backend_name == "process":
+                return ProcessPoolBackend(max_workers=2)
+            if backend_name == "work_queue":
+                return WorkQueueBackend(tmp_path / "queue", workers=2)
+            return SerialBackend()
+
+        cache = ResultCache(tmp_path / "cache")
+        cold = BatchRunner(sweep, backend=make_backend(), cache=cache).run()
+        warm = BatchRunner(sweep, backend=make_backend(), cache=cache).run()
+
+        expected = canonical(reference.to_dicts(include_runtime=False))
+        assert canonical(cold.to_dicts(include_runtime=False)) == expected
+        assert canonical(warm.to_dicts(include_runtime=False)) == expected
+        # Warm runs replay the exact cold payloads, runtime block included.
+        assert canonical(warm.to_dicts()) == canonical(cold.to_dicts())
+        assert cold.backend == backend_name == warm.backend
+        assert (cold.cache_hits, cold.cache_misses) == (0, len(sweep))
+        assert (warm.cache_hits, warm.cache_misses) == (len(sweep), 0)
+        # Dedup: 4 submitted cells, 3 unique — one simulation per unique
+        # spec (cold), zero dispatches at all when warm.
+        assert cold.planner.executed == 3 and cold.planner.duplicates == 1
+        assert warm.planner.executed == 0
+        assert cache.stats.puts == 3
+
+    def test_duplicated_specs_never_reach_the_backend_twice(self, sweep):
+        recorder = RecordingBackend()
+        result = BatchRunner(sweep, backend=recorder, cache=False).run()
+        assert len(result) == len(sweep) == 4
+        assert len(recorder.executed) == 3
+        digests = {json.dumps(p, sort_keys=True) for p in recorder.executed}
+        assert len(digests) == 3
+        # The duplicate slots received equal results all the same.
+        dicts = result.to_dicts(include_runtime=False)
+        assert dicts[0] == dicts[3]
+
+    def test_backend_results_scatter_in_submission_order(self, sweep):
+        result = BatchRunner(sweep, backend=SerialBackend(), cache=False).run()
+        assert [r.spec.scenario.seed for r in result] == [0, 1, 2, 0]
+
+
+def _strip_runtime(payload: dict) -> dict:
+    return {key: value for key, value in payload.items() if key != "runtime"}
+
+
+class TestBatchRunnerIntegration:
+    def test_custom_backend_instance(self):
+        recorder = RecordingBackend()
+        batch = BatchRunner([FAST_SPEC], backend=recorder, cache=False).run()
+        assert batch.backend == "serial" and not batch.parallel
+        assert len(recorder.executed) == 1
+
+    def test_env_var_drives_default_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        batch = BatchRunner([FAST_SPEC], cache=False).run()
+        assert batch.backend == "serial"
+
+    def test_cold_sweep_through_the_ambient_default_backend(self):
+        """Deliberately does NOT pin a backend or touch the environment:
+        under the CI backend matrix (REPRO_BATCH_BACKEND exported) this
+        cold sweep genuinely dispatches jobs through each backend and
+        must still match the serial reference bit for bit."""
+        sweep = seed_sweep(FAST_SPEC, range(2))
+        ambient = BatchRunner(sweep, cache=False).run()
+        reference = BatchRunner(sweep, backend="serial", cache=False).run()
+        expected = os.environ.get(BACKEND_ENV_VAR) or "process"
+        assert ambient.backend == expected
+        assert ambient.planner.executed == 2
+        assert canonical(ambient.to_dicts(include_runtime=False)) == canonical(
+            reference.to_dicts(include_runtime=False)
+        )
+
+    def test_short_returning_backend_is_named_in_the_error(self):
+        class Truncating(SerialBackend):
+            def run(self, payloads):
+                return super().run(payloads)[:-1]
+
+        with pytest.raises(BackendError, match="'serial' returned 1"):
+            BatchRunner(
+                seed_sweep(FAST_SPEC, range(2)), backend=Truncating(), cache=False
+            ).run()
+
+    def test_isinstance_of_abc(self):
+        for name in backend_names():
+            assert isinstance(resolve_backend(name), ExecutionBackend)
+        assert not isinstance(object(), ExecutionBackend)
+
+    def test_worker_subprocess_env_and_cli(self, tmp_path):
+        """End-to-end: backend spawns real `python -m repro.experiment.worker`
+        subprocesses that must import repro from this checkout."""
+        backend = WorkQueueBackend(tmp_path / "queue", workers=1)
+        payload = FAST_SPEC.to_dict()
+        results = backend.run([payload])
+        assert _strip_runtime(results[0]) == _strip_runtime(run_spec_payload(payload))
+        # The queue directory is left reusable: no stale tasks or results.
+        assert not any((tmp_path / "queue" / TASKS_DIR).iterdir())
+        assert not any((tmp_path / "queue" / "results").iterdir())
+        assert os.path.isdir(tmp_path / "queue" / "claimed")

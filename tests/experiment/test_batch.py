@@ -52,6 +52,8 @@ class TestExecution:
 
     # cache=False throughout: this class asserts on *which processes ran*,
     # which a warm REPRO_CACHE_DIR cache would legitimately change.
+    # Backends are named explicitly so a REPRO_BATCH_BACKEND matrix run
+    # cannot reroute what these tests deliberately pin down.
     @pytest.fixture(scope="class")
     def sequential(self, sweep):
         return BatchRunner(sweep, parallel=False, cache=False).run()
@@ -59,13 +61,22 @@ class TestExecution:
     def test_results_in_submission_order(self, sweep, sequential):
         assert [r.spec.scenario.seed for r in sequential] == [0, 1, 2, 3]
         assert len(sequential) == len(sweep)
+        assert sequential.backend == "serial" and not sequential.parallel
 
     def test_parallel_matches_sequential_bit_for_bit(self, sweep, sequential):
-        parallel = BatchRunner(sweep, parallel=True, max_workers=2, cache=False).run()
+        parallel = BatchRunner(
+            sweep, backend="process", max_workers=2, cache=False
+        ).run()
         assert parallel.parallel  # the pool genuinely engaged
+        assert parallel.backend == "process"
         assert parallel.to_dicts(include_runtime=False) == sequential.to_dicts(
             include_runtime=False
         )
+
+    def test_planner_stats_attached(self, sequential):
+        stats = sequential.planner
+        assert stats.total == stats.unique == stats.executed == 4
+        assert stats.duplicates == 0 and stats.cache_hit_rate == 0.0
 
     def test_aggregations(self, sequential):
         aggregates = sequential.aggregate_throughputs_bps()

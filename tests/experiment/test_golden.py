@@ -1,0 +1,58 @@
+"""Golden-result regression: frozen ExperimentResult JSON per scenario.
+
+One small experiment per registered scenario is frozen byte-for-byte
+under ``tests/experiment/golden/``.  A failure here means the simulation
+semantics changed — see ``golden/regenerate.py`` (the single source of
+truth for the spec grid and the canonical serialization) for the
+documented regeneration procedure when the change is intentional.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiment.registry import scenario_names
+
+_GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _load_golden_module():
+    spec = importlib.util.spec_from_file_location(
+        "golden_regenerate", _GOLDEN_DIR / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+golden = _load_golden_module()
+
+
+def test_every_registered_scenario_has_a_golden() -> None:
+    """New scenarios must add a fixture (and existing ones keep theirs)."""
+    assert sorted(golden.GOLDEN_SPECS) == scenario_names()
+    for name in golden.GOLDEN_SPECS:
+        assert golden.golden_path(name).exists(), (
+            f"missing golden fixture for {name!r}; run "
+            "PYTHONPATH=src python tests/experiment/golden/regenerate.py"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(golden.GOLDEN_SPECS))
+def test_golden_result_bit_identity(name: str) -> None:
+    frozen = golden.golden_path(name).read_text(encoding="utf-8")
+    computed = golden.compute(name)
+    assert computed == frozen, (
+        f"golden result for {name!r} drifted — if the simulation change is "
+        "intentional, regenerate with "
+        "PYTHONPATH=src python tests/experiment/golden/regenerate.py "
+        "and explain the move in the commit message"
+    )
+    # The fixture itself stays canonical: sorted keys, two-space indent,
+    # trailing newline — regeneration is the only sanctioned writer.
+    assert frozen == json.dumps(json.loads(frozen), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,170 @@
+"""SweepPlanner: dedup, cache resolution, cost ordering, empty-sweep stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiment import (
+    BatchResult,
+    ControllerSpec,
+    ExperimentSpec,
+    FlowSpec,
+    PlannerStats,
+    ProbingSpec,
+    ResultCache,
+    ScenarioSpec,
+    SweepPlanner,
+    TopologySpec,
+    estimate_cost_s,
+    seed_sweep,
+)
+from repro.experiment.planner import _node_count
+
+
+def _spec(seed: int = 0, **kwargs) -> ExperimentSpec:
+    kwargs.setdefault("cycles", 1)
+    kwargs.setdefault("cycle_measure_s", 1.0)
+    kwargs.setdefault("settle_s", 0.2)
+    return ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="chain", seed=seed, flows=(FlowSpec("udp", (0, 1, 2)),)
+        ),
+        controller=ControllerSpec(enabled=False),
+        **kwargs,
+    )
+
+
+class TestDedup:
+    def test_identical_specs_collapse_to_one_job(self):
+        payloads = [_spec(0).to_dict(), _spec(1).to_dict(), _spec(0).to_dict()]
+        plan = SweepPlanner().plan(payloads)
+        assert plan.stats.total == 3
+        assert plan.stats.unique == 2 and plan.stats.duplicates == 1
+        assert plan.stats.executed == 2
+        by_first_index = sorted(job.indices[0] for job in plan.jobs)
+        assert by_first_index == [0, 1]
+        duplicate_job = next(job for job in plan.jobs if len(job.indices) == 2)
+        assert duplicate_job.indices == (0, 2)
+
+    def test_scatter_fills_every_duplicate_slot(self):
+        payloads = [_spec(0).to_dict()] * 3
+        plan = SweepPlanner().plan(payloads)
+        assert len(plan.jobs) == 1
+        plan.scatter(plan.jobs[0], {"answer": 42})
+        assert plan.results == [{"answer": 42}] * 3
+
+    def test_distinct_specs_stay_distinct(self):
+        payloads = [s.to_dict() for s in seed_sweep(_spec(), range(4))]
+        plan = SweepPlanner().plan(payloads)
+        assert plan.stats.unique == 4 and plan.stats.duplicates == 0
+
+    def test_uncached_plan_reports_no_cache_misses(self):
+        """No cache consulted means no misses — matching BatchResult's
+        convention, not `total` phantom misses."""
+        stats = SweepPlanner().plan([_spec(0).to_dict()] * 3).stats
+        assert not stats.cache_used
+        assert stats.cache_hits == 0 and stats.cache_misses == 0
+        assert stats.as_dict()["cache_misses"] == 0
+
+
+class TestCacheResolution:
+    def test_hits_resolve_up_front_and_count_per_slot(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit = _spec(0).to_dict()
+        miss = _spec(1).to_dict()
+        cache.put_payload(hit, {"cached": True})
+        plan = SweepPlanner(cache).plan([hit, miss, hit])
+        assert plan.stats.cache_hits == 2  # both duplicate slots
+        assert plan.stats.cache_misses == 1
+        assert [job.payload for job in plan.jobs] == [miss]
+        assert plan.results[0] == {"cached": True} == plan.results[2]
+        assert plan.results[1] is None
+
+    def test_unique_spec_looked_up_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit = _spec(0).to_dict()
+        cache.put_payload(hit, {"cached": True})
+        cache.stats.hits = cache.stats.misses = 0
+        SweepPlanner(cache).plan([hit] * 5)
+        assert cache.stats.lookups == 1
+
+
+class TestCostOrdering:
+    def test_slowest_cells_first(self):
+        short = _spec(0).to_dict()
+        long = _spec(1, cycles=3, cycle_measure_s=5.0).to_dict()
+        plan = SweepPlanner().plan([short, long])
+        assert [job.indices[0] for job in plan.jobs] == [1, 0]
+        assert plan.jobs[0].est_cost_s > plan.jobs[1].est_cost_s
+        assert plan.stats.est_cost_s == pytest.approx(
+            sum(job.est_cost_s for job in plan.jobs)
+        )
+
+    def test_equal_cost_keeps_submission_order(self):
+        payloads = [s.to_dict() for s in seed_sweep(_spec(), range(3))]
+        plan = SweepPlanner().plan(payloads)
+        assert [job.indices[0] for job in plan.jobs] == [0, 1, 2]
+
+    def test_warmup_counts_only_with_controller_enabled(self):
+        base = dict(
+            scenario=ScenarioSpec(
+                scenario="chain", flows=(FlowSpec("udp", (0, 1, 2)),)
+            ),
+            probing=ProbingSpec(warmup_s=30.0),
+            cycles=1,
+            cycle_measure_s=2.0,
+            settle_s=0.5,
+        )
+        with_controller = ExperimentSpec(
+            controller=ControllerSpec(alpha=1.0), **base
+        )
+        no_controller = ExperimentSpec(
+            controller=ControllerSpec(enabled=False), **base
+        )
+        assert estimate_cost_s(with_controller.to_dict()) > estimate_cost_s(
+            no_controller.to_dict()
+        )
+
+    def test_node_count_heuristics(self):
+        assert _node_count({"topology": {"kind": "chain", "num_nodes": 7}}) == 7
+        assert _node_count({"topology": {"kind": "grid", "rows": 3, "cols": 4}}) == 12
+        assert _node_count({"topology": {"kind": "testbed"}}) == 18
+        positions = {"kind": "positions", "positions": [[0, 0, 0], [1, 1, 1]]}
+        assert _node_count({"topology": positions}) == 2
+        assert _node_count({"scenario": "starvation", "topology": None}) == 3
+        assert _node_count({"scenario": "random_multiflow", "topology": None}) == 18
+        assert _node_count({"scenario": "never-heard-of-it"}) == 18
+
+    def test_more_nodes_cost_more(self):
+        small = _spec(0).to_dict()
+        big = _spec(0).to_dict()
+        big["scenario"]["topology"] = TopologySpec(
+            kind="chain", num_nodes=12
+        ).to_dict()
+        assert estimate_cost_s(big) > estimate_cost_s(small)
+
+
+class TestEmptySweeps:
+    """Satellite: no division-by-zero anywhere on empty input."""
+
+    def test_empty_plan(self):
+        plan = SweepPlanner().plan([])
+        assert plan.jobs == [] and plan.results == []
+        assert plan.stats.total == 0
+        assert plan.stats.cache_hit_rate == 0.0
+        assert plan.stats.dedup_rate == 0.0
+
+    def test_empty_planner_stats(self):
+        stats = PlannerStats()
+        assert stats.cache_hit_rate == 0.0
+        assert stats.dedup_rate == 0.0
+        assert stats.as_dict()["cache_hit_rate"] == 0.0
+
+    def test_empty_batch_result_hit_rate(self):
+        assert BatchResult(results=[]).cache_hit_rate == 0.0
+
+    def test_stats_as_dict_round_trips_json(self):
+        import json
+
+        stats = SweepPlanner().plan([_spec(0).to_dict()]).stats
+        assert json.loads(json.dumps(stats.as_dict()))["total"] == 1
