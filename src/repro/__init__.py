@@ -93,6 +93,7 @@ from repro.experiment import (
     SweepPlan,
     SweepPlanner,
     TopologySpec,
+    WorkloadSpec,
     WorkQueueBackend,
     backend_names,
     build_scenario,
@@ -106,7 +107,7 @@ from repro.experiment import (
     spec_digest,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "phy",
@@ -140,6 +141,7 @@ __all__ = [
     "SweepPlan",
     "SweepPlanner",
     "TopologySpec",
+    "WorkloadSpec",
     "WorkQueueBackend",
     "backend_names",
     "build_scenario",

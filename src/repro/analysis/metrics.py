@@ -25,10 +25,16 @@ def jain_fairness_index(values: Sequence[float]) -> float:
         raise ValueError("at least one value is required")
     if np.any(x < 0):
         raise ValueError("values must be non-negative")
-    denom = x.size * float(np.sum(x**2))
-    if denom == 0.0:
+    # Normalize by the max before squaring: for subnormal inputs
+    # (sum x)^2 underflows to 0 while sum x^2 may not (and vice versa at
+    # the overflow end), which would push the index outside [1/n, 1].
+    # After scaling the largest value is exactly 1, so both sums stay in
+    # [1, n^2] and the ratio is computed at full precision.
+    peak = float(x.max())
+    if peak == 0.0:
         return 1.0
-    return float(np.sum(x)) ** 2 / denom
+    x = x / peak
+    return float(np.sum(x)) ** 2 / (x.size * float(np.sum(x**2)))
 
 
 def rmse(estimates: Sequence[float], truths: Sequence[float]) -> float:

@@ -65,8 +65,15 @@ def batch_summary_table(results: Sequence[object], title: str | None = None) -> 
         spec = result.spec
         aggregate = result.aggregate_bps
         aggregates.append(aggregate)
+        # ScenarioSpec.describe() names generated scenarios by their
+        # composition (topology x workload x radio profile) instead of
+        # the uninformative literal "generated".
+        scenario = spec.scenario
+        scenario_name = (
+            scenario.describe() if hasattr(scenario, "describe") else scenario.scenario
+        )
         rows.append([
-            spec.label or spec.scenario.scenario,
+            spec.label or scenario_name,
             spec.scenario.seed,
             spec.scenario.run_seed if spec.scenario.run_seed is not None else "-",
             aggregate / 1e3,

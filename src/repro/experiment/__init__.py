@@ -76,6 +76,7 @@ from repro.experiment.specs import (
     ScenarioSpec,
     SpecError,
     TopologySpec,
+    WorkloadSpec,
     spec_digest,
 )
 
@@ -120,4 +121,5 @@ __all__ = [
     "ScenarioSpec",
     "SpecError",
     "TopologySpec",
+    "WorkloadSpec",
 ]

@@ -6,7 +6,9 @@ stages:
 
 1. the :class:`repro.experiment.planner.SweepPlanner` deduplicates
    identical specs, resolves :class:`ResultCache` hits up front, and
-   orders the remaining unique cells by estimated cost (slowest first);
+   orders the remaining unique cells slowest-first — by the cache's
+   *measured* per-digest wall clocks where the store has run a spec
+   before, by the static cost estimate otherwise;
 2. a pluggable :class:`repro.experiment.backends.ExecutionBackend`
    executes those cells — inline (:class:`SerialBackend`), across local
    processes (:class:`ProcessPoolBackend`), or through a shared

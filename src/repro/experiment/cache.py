@@ -12,8 +12,19 @@ Layout on disk (all writes are atomic ``tmp + os.replace``)::
 
     <cache_dir>/
         index.json            # digest -> {size, label, seq} bookkeeping
+                              # plus the measured-cost ledger
         ab/abcdef....json     # one result payload per digest, fanned out
                               # by the first two hex characters
+
+Besides the payload entries, ``index.json`` carries a **measured-cost
+ledger**: on every writeback the payload's recorded simulation wall
+clock (``runtime.wall_time_s``) is stored under the digest, and —
+unlike the payload entry — the cost survives eviction and corruption of
+the payload file.  :meth:`ResultCache.measured_cost_s` exposes it, and
+the :class:`repro.experiment.planner.SweepPlanner` prefers these
+measured costs over its static heuristic when ordering cache misses
+slowest-first, so a store that has seen a spec before schedules it by
+how long it *actually* took.
 
 * ``get(spec)`` / ``put(spec, result)`` move typed
   :class:`ExperimentResult`\\ s in and out;
@@ -58,6 +69,7 @@ re-simulated), never the correctness of a returned payload.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -75,6 +87,24 @@ __all__ = [
 ]
 
 _INDEX_NAME = "index.json"
+
+
+def _coerce_costs(value: Any) -> dict[str, float]:
+    """The measured-cost ledger read back from ``index.json``, with
+    malformed records dropped (never let a garbage cost poison planning)."""
+    costs: dict[str, float] = {}
+    if not isinstance(value, Mapping):
+        return costs
+    for digest, cost in value.items():
+        try:
+            cost_s = float(cost)
+        except (TypeError, ValueError):
+            continue
+        # Finite and positive: json round-trips bare `Infinity`, and one
+        # inf cost would blow up the planner's calibration ratio.
+        if cost_s > 0.0 and math.isfinite(cost_s):
+            costs[str(digest)] = cost_s
+    return costs
 
 
 def _coerce_entry(value: Any) -> dict[str, Any] | None:
@@ -101,6 +131,11 @@ def _coerce_entry(value: Any) -> dict[str, Any] | None:
 #: a few KiB) while keeping a forgotten cache directory bounded.
 DEFAULT_MAX_ENTRIES = 4096
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Measured-cost ledger bound: a cost record is ~100 bytes of JSON, so
+#: keeping several payload-generations of history is cheap and lets the
+#: planner order sweeps whose payloads were long evicted.
+COST_LEDGER_MAX = 16384
 
 
 @dataclass
@@ -160,6 +195,7 @@ class ResultCache:
         self.schema_version = schema_version
         self.stats = CacheStats()
         self._index: dict[str, dict[str, Any]] | None = None
+        self._costs: dict[str, float] = {}
         self._seq = 0
 
     # ------------------------------------------------------------------ keys
@@ -188,8 +224,10 @@ class ResultCache:
                         raise ValueError("malformed index entry")
                     entries[str(digest)] = entry
                 self._index = entries
+                self._costs = _coerce_costs(data.get("costs", {}))
             except (OSError, ValueError):
                 self._index = self._rebuild_index()
+                self._costs = {}
             self._seq = max((e["seq"] for e in self._index.values()), default=0)
         return self._index
 
@@ -236,13 +274,47 @@ class ResultCache:
                     # too, or a read-mostly workload could leave the
                     # directory over max_entries/max_bytes indefinitely.
                     self._evict()
+            if isinstance(on_disk, dict):
+                # Costs another writer measured are as good as our own;
+                # our own measurement wins a conflict (it is at least as
+                # fresh as our snapshot).
+                for digest, cost_s in _coerce_costs(on_disk.get("costs", {})).items():
+                    self._costs.setdefault(digest, cost_s)
         except (OSError, ValueError):
             pass
+        self._trim_costs()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         _atomic_write_text(
             self.cache_dir / _INDEX_NAME,
-            json.dumps({"schema": self.schema_version, "entries": index}, indent=0),
+            json.dumps(
+                {
+                    "schema": self.schema_version,
+                    "entries": index,
+                    "costs": self._costs,
+                },
+                indent=0,
+            ),
         )
+
+    def _trim_costs(self) -> None:
+        """Bound the cost ledger: drop oldest-recorded digests first
+        (dict insertion order), keeping records for live entries."""
+        overflow = len(self._costs) - COST_LEDGER_MAX
+        if overflow <= 0:
+            return
+        index = self._load_index()
+        for digest in list(self._costs):
+            if overflow <= 0:
+                break
+            if digest in index:
+                continue  # live entries keep their measurement
+            del self._costs[digest]
+            overflow -= 1
+        for digest in list(self._costs):
+            if overflow <= 0:
+                break
+            del self._costs[digest]
+            overflow -= 1
 
     def _touch(self, digest: str) -> None:
         self._seq += 1
@@ -315,6 +387,17 @@ class ResultCache:
         encoded = json.dumps(payload, sort_keys=True)
         _atomic_write_text(path, encoded)
         index = self._load_index()
+        # Measured-cost ledger: remember how long this spec actually took
+        # to simulate (the payload's own runtime block, i.e. the wall
+        # clock of the run that produced it — not of this writeback).
+        runtime = payload.get("runtime")
+        if isinstance(runtime, Mapping):
+            try:
+                cost_s = float(runtime.get("wall_time_s", 0.0))
+            except (TypeError, ValueError):
+                cost_s = 0.0
+            if cost_s > 0.0 and math.isfinite(cost_s):
+                self._costs[digest] = cost_s
         # Bytes on disk, not characters: must agree with the st_size a
         # _rebuild_index would record for the same UTF-8 payload file.
         index[digest] = {
@@ -355,6 +438,28 @@ class ResultCache:
         if stored:
             self._write_index()
         return stored
+
+    # ----------------------------------------------------- measured-cost ledger
+    def measured_cost_s(
+        self, spec: ExperimentSpec | Mapping[str, Any] | str
+    ) -> float | None:
+        """Recorded simulation wall clock for ``spec`` (or a digest
+        string), or ``None`` when this store never ran it.
+
+        The ledger outlives the payload itself — an entry evicted for
+        space still orders correctly in the next sweep plan — and is
+        consulted by :class:`repro.experiment.planner.SweepPlanner` in
+        preference to the static :func:`estimate_cost_s` heuristic.
+        """
+        digest = spec if isinstance(spec, str) else self.key(spec)
+        self._load_index()
+        return self._costs.get(digest)
+
+    @property
+    def cost_ledger_size(self) -> int:
+        """How many digests have a recorded measured cost."""
+        self._load_index()
+        return len(self._costs)
 
     # ------------------------------------------------------------ typed-level
     def get(self, spec: ExperimentSpec) -> ExperimentResult | None:
@@ -406,7 +511,12 @@ class ResultCache:
         return sum(int(e.get("size", 0)) for e in self._load_index().values())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were dropped."""
+        """Delete every entry; returns how many were dropped.
+
+        The measured-cost ledger survives a clear on purpose: wiping
+        payloads frees space, but how long each spec took to simulate
+        stays true and keeps ordering the next cold sweep well.
+        """
         index = self._load_index()
         dropped = len(index)
         for digest in list(index):

@@ -11,11 +11,18 @@ execution plan:
 2. **Resolve the cache** — each *unique* spec is looked up in the
    :class:`repro.experiment.cache.ResultCache` exactly once; hits fill
    their submission slots up front and never reach the backend.
-3. **Order by estimated cost** — the remaining jobs are sorted by
-   :func:`estimate_cost_s`, most expensive first, so the slowest cells
-   start as soon as workers are available and the sweep's wall clock
-   approaches ``max(cell) + spillover`` instead of being hostage to a
-   long cell scheduled last (classic LPT scheduling).
+3. **Order by cost, measured where known** — the remaining jobs are
+   sorted most expensive first, so the slowest cells start as soon as
+   workers are available and the sweep's wall clock approaches
+   ``max(cell) + spillover`` instead of being hostage to a long cell
+   scheduled last (classic LPT scheduling).  A job whose digest appears
+   in the cache's measured-cost ledger
+   (:meth:`repro.experiment.cache.ResultCache.measured_cost_s` — costs
+   survive payload eviction) is ordered by its *actual* recorded wall
+   clock; the rest fall back to the static :func:`estimate_cost_s`
+   heuristic, rescaled onto the measured jobs' wall-clock scale when
+   any exist (median measured/estimate ratio), so the two cost sources
+   induce one coherent order.
 
 Planning is pure bookkeeping: results are scattered back to submission
 order afterwards, so the plan can never change *what* a sweep returns —
@@ -53,21 +60,37 @@ _DEFAULT_NODE_COUNT = 18
 
 
 def _node_count(scenario: Mapping[str, Any]) -> int:
-    """Best-effort node count of a scenario payload (cost heuristic only)."""
+    """Best-effort node count of a scenario payload (cost heuristic only).
+
+    Delegates the per-kind arithmetic to
+    :func:`repro.sim.generators.topology_node_count` — one source of
+    truth for what each topology generator produces (the import is
+    deferred, and in any real planning path the generators module is
+    already loaded by the specs the sweep was built from).
+    """
     topology = scenario.get("topology")
     if isinstance(topology, Mapping):
-        kind = topology.get("kind")
-        if kind == "chain":
-            return int(topology.get("num_nodes", 3))
-        if kind == "grid":
-            return int(topology.get("rows", 1)) * int(topology.get("cols", 1))
-        if kind == "testbed":
-            return 18
-        if kind == "positions":
-            return max(len(topology.get("positions", ())), 2)
+        from repro.sim.generators import topology_node_count
+
+        return topology_node_count(str(topology.get("kind", "")), topology)
     return _SCENARIO_NODE_COUNTS.get(
         str(scenario.get("scenario", "")), _DEFAULT_NODE_COUNT
     )
+
+
+def _flow_count(scenario: Mapping[str, Any]) -> int:
+    """Best-effort flow count of a scenario payload (cost heuristic only)."""
+    flows = scenario.get("flows")
+    if isinstance(flows, Sequence) and len(flows) > 0:
+        return len(flows)
+    workload = scenario.get("workload")
+    if isinstance(workload, Mapping):
+        return int(workload.get("num_flows", 4))
+    if str(scenario.get("scenario", "")) == "random_multiflow":
+        return int(scenario.get("num_flows", 4))
+    if str(scenario.get("scenario", "")) == "starvation":
+        return 2
+    return 1
 
 
 def estimate_cost_s(payload: Mapping[str, Any]) -> float:
@@ -76,9 +99,12 @@ def estimate_cost_s(payload: Mapping[str, Any]) -> float:
     Simulated seconds dominate a cell's wall clock: probe warmup (paid
     only when the controller is enabled, mirroring the runner's
     schedule) plus ``cycles x cycle_measure_s``, scaled by the node
-    count (more nodes, more events per simulated second).  The absolute
-    value is meaningless; only the ordering it induces matters, and ties
-    fall back to submission order so plans stay deterministic.
+    count (more nodes, more events per simulated second) and softly by
+    the flow count (each flow keeps its own packet stream on the air).
+    The absolute value is meaningless; only the ordering it induces
+    matters, and ties fall back to submission order so plans stay
+    deterministic.  When a measured wall clock exists for the digest,
+    the :class:`SweepPlanner` prefers it over this heuristic.
     """
     scenario = payload.get("scenario", {})
     controller = payload.get("controller", {})
@@ -91,18 +117,27 @@ def estimate_cost_s(payload: Mapping[str, Any]) -> float:
     measure_s = float(payload.get("cycles", 1)) * float(
         payload.get("cycle_measure_s", 0.0)
     )
-    return (warmup_s + measure_s) * max(_node_count(scenario), 1)
+    load_factor = 1.0 + 0.25 * max(_flow_count(scenario) - 1, 0)
+    return (warmup_s + measure_s) * max(_node_count(scenario), 1) * load_factor
 
 
 @dataclass(frozen=True)
 class PlannedJob:
-    """One unique spec the backend must actually execute."""
+    """One unique spec the backend must actually execute.
+
+    ``est_cost_s`` is always the static heuristic; ``cost_s`` is what the
+    plan actually orders by — the ledger's measured wall clock when the
+    cache has one for this digest (``measured=True``), otherwise the
+    heuristic rescaled onto the measured jobs' wall-clock scale.
+    """
 
     payload: dict[str, Any]
     indices: tuple[int, ...]  # submission slots this job's result fills
     digest: str
     est_cost_s: float
     label: str = ""
+    cost_s: float = 0.0
+    measured: bool = False
 
 
 @dataclass
@@ -118,6 +153,9 @@ class PlannerStats:
     cache_hits: int = 0
     cache_used: bool = False
     est_cost_s: float = 0.0
+    #: Jobs ordered by a measured wall clock from the cache's cost
+    #: ledger rather than the static heuristic.
+    measured_jobs: int = 0
 
     @property
     def duplicates(self) -> int:
@@ -152,6 +190,7 @@ class PlannerStats:
             "cache_hit_rate": self.cache_hit_rate,
             "dedup_rate": self.dedup_rate,
             "est_cost_s": self.est_cost_s,
+            "measured_jobs": self.measured_jobs,
         }
 
 
@@ -215,31 +254,54 @@ class SweepPlanner:
             unique=len(order),
             cache_used=self.cache is not None,
         )
-        jobs: list[PlannedJob] = []
+        misses: list[tuple[str, float, float | None]] = []
         for digest in order:
-            job = PlannedJob(
-                payload=payload_of[digest],
-                indices=tuple(indices[digest]),
-                digest=digest,
-                est_cost_s=estimate_cost_s(payload_of[digest]),
-                label=label_of[digest],
-            )
+            payload = payload_of[digest]
             cached = (
-                self.cache.get_payload(job.payload, digest=job.digest)
+                self.cache.get_payload(payload, digest=digest)
                 if self.cache is not None
                 else None
             )
             if cached is not None:
-                for index in job.indices:
+                for index in indices[digest]:
                     results[index] = cached
-                stats.cache_hits += len(job.indices)
-            else:
-                jobs.append(job)
+                stats.cache_hits += len(indices[digest])
+                continue
+            measured = (
+                self.cache.measured_cost_s(digest)
+                if self.cache is not None
+                else None
+            )
+            misses.append((digest, estimate_cost_s(payload), measured))
+
+        # Learned cost model: jobs the store has run before (ledger costs
+        # outlive payload eviction) order by their actual wall clock;
+        # never-seen jobs keep the static heuristic, rescaled onto the
+        # measured wall-clock scale by the median measured/estimate ratio
+        # so mixed plans compare like with like.
+        ratios = sorted(
+            measured / est for _, est, measured in misses
+            if measured is not None and est > 0.0
+        )
+        scale = ratios[len(ratios) // 2] if ratios else 1.0
+        jobs = [
+            PlannedJob(
+                payload=payload_of[digest],
+                indices=tuple(indices[digest]),
+                digest=digest,
+                est_cost_s=est,
+                label=label_of[digest],
+                cost_s=measured if measured is not None else est * scale,
+                measured=measured is not None,
+            )
+            for digest, est, measured in misses
+        ]
         # Longest-processing-time-first: slowest cells start first.  The
         # (-cost, first-index) key keeps equal-cost jobs in submission
         # order, so plans — and therefore backend dispatch — stay
         # deterministic.
-        jobs.sort(key=lambda job: (-job.est_cost_s, job.indices[0]))
+        jobs.sort(key=lambda job: (-job.cost_s, job.indices[0]))
         stats.executed = len(jobs)
         stats.est_cost_s = sum(job.est_cost_s for job in jobs)
+        stats.measured_jobs = sum(1 for job in jobs if job.measured)
         return SweepPlan(jobs=jobs, results=results, stats=stats)

@@ -6,24 +6,33 @@ with :func:`register_scenario`, which makes every scenario discoverable
 (``scenario_names()``), describable (``scenario_description()``) and
 runnable by name through :class:`repro.experiment.runner.Experiment`.
 
-The built-ins wrap the canned constructions of
-:mod:`repro.sim.scenarios`:
+The built-ins are thin presets over the composable generator layer of
+:mod:`repro.sim.generators` (topology generators x workload generators
+x radio profiles):
 
+* ``generated`` — the fully declarative composition: any registered
+  topology generator (grid, ring, random-disk, binary-tree,
+  parking-lot, ...), flows from a registered workload generator (or
+  explicit :class:`FlowSpec`\\ s), link rates assigned per ``rate_mode``,
+  and an optional named radio profile;
 * ``chain`` — an N-node chain with explicit flows (defaults to one UDP
   flow over the whole chain);
 * ``testbed`` — the synthetic 18-node testbed with explicit flows;
 * ``random_multiflow`` — ETT-routed random multi-flow configurations of
-  Sections 4.5 / 6.3;
+  Sections 4.5 / 6.3 (kept on its legacy single-RNG draw discipline so
+  historical results replay bit-identically);
 * ``starvation`` — the two-flow upstream TCP gateway scenario of
-  Figure 13.
+  Figure 13: a three-node chain under the ``hidden_terminal`` radio
+  profile.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Iterable, Protocol
 
 from repro.experiment.specs import FlowSpec, ScenarioSpec, SpecError, TopologySpec
+from repro.sim.generators import GeneratedFlow
 from repro.sim.network import MeshNetwork, TcpFlowHandle, UdpFlowHandle
 
 FlowHandle = UdpFlowHandle | TcpFlowHandle
@@ -111,7 +120,12 @@ def _get(name: str) -> _Registration:
 # ---------------------------------------------------------------------------
 # Built-in scenarios
 # ---------------------------------------------------------------------------
-def _add_flows(network: MeshNetwork, flows: tuple[FlowSpec, ...]) -> list[FlowHandle]:
+def _add_flows(
+    network: MeshNetwork, flows: "Iterable[FlowSpec | GeneratedFlow]"
+) -> list[FlowHandle]:
+    """Attach declarative flows — explicit :class:`FlowSpec`\\ s or a
+    workload generator's :class:`GeneratedFlow`\\ s, which share the same
+    field vocabulary — to the live network, in order."""
     handles: list[FlowHandle] = []
     for flow in flows:
         if flow.transport == "udp":
@@ -127,6 +141,94 @@ def _add_flows(network: MeshNetwork, flows: tuple[FlowSpec, ...]) -> list[FlowHa
                 network.add_tcp_flow(list(flow.path), mss_bytes=flow.mss_bytes)
             )
     return handles
+
+
+@register_scenario(
+    "generated",
+    description="declarative topology x workload x radio-profile composition",
+)
+def _build_generated(spec: ScenarioSpec) -> BuiltScenario:
+    """The open half of the scenario space: every axis is a registered
+    generator driven purely by the spec, so new interference structures
+    need parameters, not builder code.
+
+    Construction order (all randomness from named, seed-derived RNG
+    streams, so the scenario is a pure function of the spec):
+
+    1. node positions via the topology generator (``spec.topology``);
+    2. radio from ``spec.radio``, else the named ``spec.radio_profile``
+       at the scenario's data rate, else the default radio;
+    3. per-link modulations per ``spec.rate_mode`` (the ``mixed`` draw
+       uses the ``generated.link_rates`` stream);
+    4. flows from explicit ``spec.flows``, or routed over ETT paths by
+       the workload generator (``spec.workload``).
+    """
+    import numpy as np
+
+    from repro.engine import rng_spawn_key
+    from repro.phy.propagation import LogDistancePathLoss
+    from repro.sim.generators import (
+        assign_link_rates,
+        generate_workload,
+        radio_profile_config,
+    )
+
+    if spec.topology is None:
+        raise SpecError(
+            "the 'generated' scenario needs spec.topology naming a "
+            "registered topology generator"
+        )
+    if not spec.flows and spec.workload is None:
+        raise SpecError(
+            "the 'generated' scenario needs explicit spec.flows or a "
+            "spec.workload generator"
+        )
+    positions = spec.topology.build(seed=spec.seed)
+    if spec.radio is not None:
+        radio = spec.radio.build()
+    elif spec.radio_profile is not None:
+        radio = radio_profile_config(
+            spec.radio_profile, data_rate_mbps=spec.data_rate_mbps
+        )
+    else:
+        radio = None
+    sigma = 0.0 if spec.shadowing_sigma_db is None else spec.shadowing_sigma_db
+    network = MeshNetwork(
+        positions,
+        seed=spec.seed if spec.run_seed is None else spec.run_seed,
+        radio=radio,
+        propagation=LogDistancePathLoss(shadowing_sigma_db=sigma, seed=spec.seed),
+        data_rate_mbps=spec.data_rate_mbps,
+    )
+    link_rate_rng = np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=spec.seed, spawn_key=(rng_spawn_key("generated.link_rates"),)
+        )
+    )
+    assign_link_rates(network, spec.rate_mode, link_rate_rng)
+    meta: dict[str, object] = {
+        "topology_generator": spec.topology.kind,
+        "node_count": len(positions),
+        "rate_mode": spec.rate_mode,
+        "radio_profile": spec.radio_profile,
+        "workload_generator": spec.workload.generator if spec.workload else None,
+    }
+    if spec.flows:
+        handles = _add_flows(network, spec.flows)
+    else:
+        assert spec.workload is not None  # guarded above
+        generated = generate_workload(
+            network,
+            spec.workload.generator,
+            seed=spec.seed,
+            **spec.workload.params(),
+        )
+        handles = _add_flows(network, generated)
+        meta["transports"] = [flow.transport for flow in generated]
+    meta["routes"] = [list(handle.path) for handle in handles]
+    return BuiltScenario(
+        name="generated", spec=spec, network=network, flows=handles, meta=meta
+    )
 
 
 @register_scenario(

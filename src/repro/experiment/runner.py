@@ -11,6 +11,12 @@ and benchmark used to hand-roll:
 3. measure achieved throughput over a settle-trimmed window;
 4. repeat optimize+measure for the remaining cycles.
 
+The scenario itself can be any registered builder — the four canned
+presets or the fully declarative ``"generated"`` composition of a
+topology generator, a workload generator and a radio profile (see
+:mod:`repro.sim.generators`); the runner is agnostic, it drives whatever
+:func:`repro.experiment.registry.build_scenario` hands back.
+
 The outcome is an :class:`ExperimentResult`: one :class:`CycleResult`
 per cycle (keeping the full :class:`ControlDecision` when requested),
 per-flow achieved throughput, realized utility, and runtime statistics.
@@ -19,6 +25,8 @@ which the parallel batch runner uses to return bit-identical payloads
 from worker processes — and which the content-addressed
 :class:`repro.experiment.cache.ResultCache` stores on disk so repeated
 specs skip the simulation entirely (``Experiment(spec).run(cache=...)``).
+Writebacks also record the run's wall clock in the cache's measured-cost
+ledger, which the sweep planner prefers over its static cost heuristic.
 """
 
 from __future__ import annotations

@@ -3,11 +3,17 @@
 The declarative front door to the reproduction: an experiment is fully
 described by a tree of frozen dataclasses —
 
-* :class:`TopologySpec` — where the nodes are (chain, grid, the 18-node
-  testbed, or explicit positions);
+* :class:`TopologySpec` — where the nodes are: any registered topology
+  generator of :mod:`repro.sim.generators` (chain/line, grid, ring,
+  random-disk, binary-tree, parking-lot, the 18-node testbed) or
+  explicit positions;
 * :class:`RadioSpec` — transmit power, carrier-sense threshold and PHY
   rates shared by every node;
-* :class:`FlowSpec` — one traffic flow (transport, route, shaping);
+* :class:`FlowSpec` — one explicit traffic flow (transport, route,
+  shaping);
+* :class:`WorkloadSpec` — a *generated* flow set: a registered workload
+  generator name (saturated UDP, TCP bulk, mixed TCP/UDP, gravity
+  demands) plus its demand parameters;
 * :class:`ProbingSpec` — the broadcast probing system and its warmup;
 * :class:`ControllerSpec` — the online optimizer (alpha-fair objective,
   probing window, interference model), or disabled for the paper's
@@ -42,7 +48,17 @@ class SpecError(ValueError):
 #: the spec schema *or* to the simulation semantics behind it invalidates
 #: previously computed :class:`ExperimentResult` payloads — cached entries
 #: keyed under the old version simply stop matching and age out.
-SPEC_SCHEMA_VERSION = 1
+#:
+#: Version history:
+#:
+#: 1. initial declarative schema;
+#: 2. composable scenario generators — :class:`TopologySpec` grew the
+#:    generator kinds/parameters (``ring``, ``random_disk``,
+#:    ``binary_tree``, ``parking_lot``, ...), :class:`ScenarioSpec` grew
+#:    ``workload`` and ``radio_profile``, and :class:`WorkloadSpec` was
+#:    added, so every canonical spec dict (and therefore every digest)
+#:    changed.
+SPEC_SCHEMA_VERSION = 2
 
 
 def spec_digest(spec: "ExperimentSpec | Mapping[str, Any]",
@@ -70,7 +86,14 @@ def spec_digest(spec: "ExperimentSpec | Mapping[str, Any]",
 
 Positions = dict[int, tuple[float, float]]
 
-TOPOLOGY_KINDS = ("chain", "grid", "testbed", "positions")
+#: Deprecated static alias kept for discoverability; the authoritative
+#: vocabulary is the topology generator registry of
+#: :mod:`repro.sim.generators` (``topology_names()``), which third-party
+#: generators extend at runtime.
+TOPOLOGY_KINDS = (
+    "chain", "line", "grid", "ring", "random_disk", "binary_tree",
+    "parking_lot", "testbed", "positions",
+)
 TRANSPORTS = ("udp", "tcp")
 RATE_MODES = ("1", "11", "mixed")
 
@@ -107,14 +130,28 @@ def _filter_kwargs(cls: type, data: Mapping[str, Any]) -> dict[str, Any]:
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
 class TopologySpec:
-    """Node placement for a scenario.
+    """Node placement for a scenario: a topology generator name plus its
+    parameters.
+
+    ``kind`` is any generator registered with
+    :func:`repro.sim.generators.register_topology`; the built-ins are
+    ``"chain"``/``"line"``, ``"grid"``, ``"ring"``, ``"random_disk"``,
+    ``"binary_tree"``, ``"parking_lot"``, ``"testbed"`` and
+    ``"positions"``.  Generators read the parameter fields they care
+    about and ignore the rest:
 
     Attributes:
-        kind: ``"chain"``, ``"grid"``, ``"testbed"`` or ``"positions"``.
-        num_nodes: chain length (``kind="chain"``).
+        kind: registered topology generator name.
+        num_nodes: node count for chains/lines, rings, random disks; the
+            backbone length for parking lots.
         rows / cols: grid dimensions (``kind="grid"``).
-        spacing_m: inter-node spacing for chains and grids.
+        spacing_m: inter-node spacing for chains, grids, trees and
+            parking-lot backbones.
         jitter_m: placement jitter for the testbed layout.
+        radius_m: circle radius for rings, disk radius for random disks.
+        depth: number of levels of a binary tree (``2**depth - 1`` nodes).
+        min_separation_m: minimum pairwise node distance for random disks.
+        stub_m: entry-stub offset off the parking-lot backbone.
         positions: explicit ``(node_id, x, y)`` triples
             (``kind="positions"``).
     """
@@ -125,32 +162,48 @@ class TopologySpec:
     cols: int = 2
     spacing_m: float = 60.0
     jitter_m: float = 6.0
+    radius_m: float = 150.0
+    depth: int = 3
+    min_separation_m: float = 25.0
+    stub_m: float = 45.0
     positions: tuple[tuple[int, float, float], ...] = ()
 
     def __post_init__(self) -> None:
-        _require(self.kind in TOPOLOGY_KINDS,
-                 f"topology kind must be one of {TOPOLOGY_KINDS}, got {self.kind!r}")
+        from repro.sim.generators import topology_names
+
+        _require(self.kind in topology_names(),
+                 f"topology kind must be a registered generator, one of "
+                 f"{topology_names()}; got {self.kind!r}")
         _require(self.spacing_m > 0, "spacing_m must be positive")
-        if self.kind == "chain":
-            _require(self.num_nodes >= 2, "a chain needs at least two nodes")
+        _require(self.radius_m > 0, "radius_m must be positive")
+        _require(self.min_separation_m >= 0, "min_separation_m must be non-negative")
+        _require(self.stub_m > 0, "stub_m must be positive")
+        if self.kind in ("chain", "line", "parking_lot", "random_disk"):
+            _require(self.num_nodes >= 2,
+                     f"a {self.kind} topology needs at least two nodes")
+        if self.kind == "ring":
+            _require(self.num_nodes >= 3, "a ring needs at least three nodes")
         if self.kind == "grid":
             _require(self.rows >= 1 and self.cols >= 1, "grid dimensions must be positive")
+        if self.kind == "binary_tree":
+            _require(self.depth >= 2, "a binary tree needs at least two levels")
         if self.kind == "positions":
             _require(len(self.positions) >= 2, "explicit topologies need at least two nodes")
             ids = [int(p[0]) for p in self.positions]
             _require(len(ids) == len(set(ids)), "duplicate node ids in positions")
 
     def build(self, seed: int = 0) -> Positions:
-        """Materialize the node id -> (x, y) placement map."""
-        from repro.sim.topology import chain_topology, grid_topology, testbed_positions
+        """Materialize the node id -> (x, y) placement map through the
+        topology generator registry."""
+        from repro.sim.generators import build_topology
 
-        if self.kind == "chain":
-            return chain_topology(self.num_nodes, spacing_m=self.spacing_m)
-        if self.kind == "grid":
-            return grid_topology(self.rows, self.cols, spacing_m=self.spacing_m)
-        if self.kind == "testbed":
-            return testbed_positions(seed=seed, jitter_m=self.jitter_m)
-        return {int(node): (float(x), float(y)) for node, x, y in self.positions}
+        return build_topology(self.kind, self.to_dict(), seed=seed)
+
+    def node_count(self) -> int:
+        """Node count this topology will produce (without building it)."""
+        from repro.sim.generators import topology_node_count
+
+        return topology_node_count(self.kind, self.to_dict())
 
     def to_dict(self) -> dict[str, Any]:
         return _spec_to_dict(self)
@@ -243,6 +296,68 @@ class FlowSpec:
 
 
 # ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A generated flow set: workload generator name plus demand knobs.
+
+    ``generator`` is any name registered with
+    :func:`repro.sim.generators.register_workload`; the built-ins are
+    ``"saturated_udp"``, ``"tcp_bulk"``, ``"mixed_tcp_udp"`` and
+    ``"gravity"``.  The generator routes its demands over ETT paths of
+    the built network and draws all randomness from a generator-private
+    RNG stream spawned from the scenario seed
+    (:func:`repro.sim.generators.workload_rng`), so the same spec always
+    produces the same flows.
+
+    ``rate_bps`` follows :class:`FlowSpec` semantics for the UDP flows a
+    generator emits: ``None`` saturates, ``0.0`` starts idle until the
+    controller programs the flow, a positive value is a CBR rate (the
+    ``gravity`` generator splits ``rate_bps * num_flows`` across demands
+    by gravity weight instead of handing every flow the same rate).
+    """
+
+    generator: str = "saturated_udp"
+    num_flows: int = 4
+    max_hops: int = 4
+    rate_bps: float | None = None
+    tcp_fraction: float = 0.5
+    payload_bytes: int = 1470
+    mss_bytes: int = 1460
+    demand_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        from repro.sim.generators import workload_names
+
+        _require(self.generator in workload_names(),
+                 f"workload generator must be a registered name, one of "
+                 f"{workload_names()}; got {self.generator!r}")
+        _require(self.num_flows >= 1, "num_flows must be at least 1")
+        _require(self.max_hops >= 1, "max_hops must be at least 1")
+        _require(self.rate_bps is None or self.rate_bps >= 0,
+                 "rate_bps must be None (backlogged) or non-negative")
+        _require(0.0 <= self.tcp_fraction <= 1.0,
+                 "tcp_fraction must lie in [0, 1]")
+        _require(self.payload_bytes > 0 and self.mss_bytes > 0,
+                 "payload_bytes and mss_bytes must be positive")
+        _require(self.demand_exponent > 0, "demand_exponent must be positive")
+
+    def params(self) -> dict[str, Any]:
+        """Keyword arguments for :func:`repro.sim.generators.generate_workload`."""
+        data = _spec_to_dict(self)
+        data.pop("generator")
+        return data
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+# ---------------------------------------------------------------------------
 # Probing
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -321,15 +436,24 @@ class ScenarioSpec:
 
     ``scenario`` is a key in the scenario registry
     (:func:`repro.experiment.registry.register_scenario`); the built-in
-    names are ``"chain"``, ``"testbed"``, ``"random_multiflow"`` and
-    ``"starvation"``.  ``seed`` fixes topology and shadowing; ``run_seed``
-    (defaulting to ``seed``) re-seeds only traffic/backoff randomness so
-    one physical configuration can be re-run independently.
+    names are ``"chain"``, ``"testbed"``, ``"random_multiflow"``,
+    ``"starvation"`` and the fully declarative ``"generated"``, which
+    composes a topology generator (``topology``), a workload generator
+    (``workload``, or explicit ``flows``) and a named radio profile
+    (``radio_profile``).  ``seed`` fixes topology and shadowing;
+    ``run_seed`` (defaulting to ``seed``) re-seeds only traffic/backoff
+    randomness so one physical configuration can be re-run independently.
 
-    Not every field is read by every builder — e.g. ``rate_mode`` and
-    ``num_flows`` only matter to ``random_multiflow``, and ``topology`` /
-    ``radio`` / ``flows`` are ignored by ``starvation``, which fixes its
-    own three-node gateway chain.
+    Not every field is read by every builder — ``rate_mode`` matters to
+    ``random_multiflow`` and ``generated`` (link-rate assignment), while
+    ``num_flows`` / ``max_hops`` / ``transport`` matter only to
+    ``random_multiflow``: a ``generated`` workload carries its own
+    demand knobs on :class:`WorkloadSpec`.  ``topology`` / ``radio`` /
+    ``flows`` are ignored by ``starvation``, which fixes its own
+    three-node gateway chain.
+    ``radio`` and ``radio_profile`` are mutually exclusive; the profile
+    resolves against :data:`repro.sim.generators.RADIO_PROFILES` at
+    build time, at the scenario's ``data_rate_mbps``.
     """
 
     scenario: str = "chain"
@@ -339,7 +463,9 @@ class ScenarioSpec:
     shadowing_sigma_db: float | None = None
     topology: TopologySpec | None = None
     radio: RadioSpec | None = None
+    radio_profile: str | None = None
     flows: tuple[FlowSpec, ...] = ()
+    workload: WorkloadSpec | None = None
     num_flows: int = 4
     max_hops: int = 4
     rate_mode: str = "mixed"
@@ -360,16 +486,47 @@ class ScenarioSpec:
                  f"rate_mode must be one of {RATE_MODES}, got {self.rate_mode!r}")
         _require(self.transport in TRANSPORTS,
                  f"transport must be one of {TRANSPORTS}, got {self.transport!r}")
+        _require(self.radio is None or self.radio_profile is None,
+                 "give either radio or radio_profile, not both")
+        _require(not (self.flows and self.workload is not None),
+                 "give either explicit flows or a workload generator, not both")
+        if self.radio_profile is not None:
+            from repro.sim.generators import radio_profile_names
+
+            _require(self.radio_profile in radio_profile_names(),
+                     f"radio_profile must be one of {radio_profile_names()}, "
+                     f"got {self.radio_profile!r}")
 
     def with_seed(self, seed: int, run_seed: int | None = None) -> "ScenarioSpec":
         """The same scenario re-seeded (used by batch seed sweeps)."""
         return replace(self, seed=seed, run_seed=run_seed)
+
+    def describe(self) -> str:
+        """Compact human-readable identity, e.g. ``generated(grid 2x3,
+        mixed_tcp_udp)`` — what reports print when no label is set."""
+        if self.scenario != "generated":
+            return self.scenario
+        parts = []
+        if self.topology is not None:
+            shape = {
+                "grid": f"grid {self.topology.rows}x{self.topology.cols}",
+                "binary_tree": f"binary_tree d{self.topology.depth}",
+            }.get(self.topology.kind, f"{self.topology.kind} {self.topology.node_count()}")
+            parts.append(shape)
+        if self.workload is not None:
+            parts.append(self.workload.generator)
+        elif self.flows:
+            parts.append(f"{len(self.flows)} flow(s)")
+        if self.radio_profile and self.radio_profile != "default":
+            parts.append(self.radio_profile)
+        return f"generated({', '.join(parts)})" if parts else "generated"
 
     def to_dict(self) -> dict[str, Any]:
         data = _spec_to_dict(self)
         data["topology"] = self.topology.to_dict() if self.topology else None
         data["radio"] = self.radio.to_dict() if self.radio else None
         data["flows"] = [flow.to_dict() for flow in self.flows]
+        data["workload"] = self.workload.to_dict() if self.workload else None
         return data
 
     @classmethod
@@ -381,6 +538,8 @@ class ScenarioSpec:
             kwargs["radio"] = RadioSpec.from_dict(kwargs["radio"])
         if "flows" in kwargs:
             kwargs["flows"] = tuple(FlowSpec.from_dict(f) for f in kwargs["flows"])
+        if kwargs.get("workload") is not None:
+            kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
         return cls(**kwargs)
 
 
@@ -420,7 +579,7 @@ class ExperimentSpec:
     def describe(self) -> str:
         controller = (self.controller.utility.describe()
                       if self.controller.enabled else "no rate control")
-        return (f"{self.label or self.scenario.scenario}"
+        return (f"{self.label or self.scenario.describe()}"
                 f" [seed={self.scenario.seed}, {controller}, {self.cycles} cycle(s)]")
 
     def to_dict(self) -> dict[str, Any]:

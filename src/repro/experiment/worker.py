@@ -14,7 +14,10 @@ result payload is byte-identical no matter which worker ran it.  With
 ``--cache-dir`` every computed result is also written into a shared
 content-addressed :class:`repro.experiment.cache.ResultCache`
 (concurrent-writer-safe), so a fleet of workers warms one store as a
-side effect of draining the queue.
+side effect of draining the queue — including the store's measured-cost
+ledger (each writeback records the cell's simulation wall clock), which
+future submissions' sweep planners use to dispatch slowest-first by
+observed cost rather than heuristic.
 
 Typical remote session::
 

@@ -1,0 +1,649 @@
+"""Composable scenario generators: topology x workload x radio profiles.
+
+The paper's online optimizer is only convincing when exercised across
+many interference structures.  This module opens that space by breaking
+scenario construction into three orthogonal, independently registered
+axes:
+
+* **Topology generators** map a parameter dict plus a seed to node
+  positions (:data:`Positions`).  Built-ins cover the classic mesh
+  layouts — chain/line, grid, ring, random-disk, binary-tree,
+  parking-lot — plus the paper's 18-node testbed and explicit
+  coordinates.  Register new ones with :func:`register_topology`.
+* **Workload generators** map a built :class:`MeshNetwork` plus demand
+  parameters to a list of :class:`GeneratedFlow`\\ s over ETT-routed
+  paths: saturated-UDP random demands, TCP bulk transfers, mixed
+  TCP/UDP, and gravity-style weighted demands.  Register new ones with
+  :func:`register_workload`.
+* **Radio profiles** are named radio parameter presets
+  (:func:`radio_profile_config`), including the reduced-carrier-sense
+  ``hidden_terminal`` configuration the Figure 13 starvation scenario is
+  built on.
+
+Everything here is deterministic: workload and placement randomness
+come from named RNG streams spawned via
+:func:`repro.engine.rng_spawn_key`, so the same ``(generator, params,
+seed)`` triple always produces the same scenario — which is what lets
+the experiment layer (:mod:`repro.experiment.specs`) serialize generator
+name + params into a canonical spec dict, content-address it with
+``spec_digest``, and replay it bit-identically on any execution backend.
+
+The registries are the single source of truth for generator names; the
+spec layer validates against them and every unknown-name lookup raises
+listing the registered names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.engine import rng_spawn_key
+from repro.net.routing import Router, ett
+from repro.phy.radio import RATE_1MBPS, RATE_11MBPS, RadioConfig, rate_from_mbps
+from repro.sim.network import MeshNetwork
+from repro.sim.topology import (
+    binary_tree_topology,
+    chain_topology,
+    grid_topology,
+    parking_lot_topology,
+    random_disk_topology,
+    ring_topology,
+    testbed_positions,
+)
+
+Link = tuple[int, int]
+Positions = dict[int, tuple[float, float]]
+
+__all__ = [
+    "GeneratedFlow",
+    "WorkloadContext",
+    "register_topology",
+    "register_workload",
+    "topology_names",
+    "workload_names",
+    "topology_description",
+    "workload_description",
+    "build_topology",
+    "generate_workload",
+    "workload_rng",
+    "radio_profile_names",
+    "radio_profile_params",
+    "radio_profile_config",
+    "assign_link_rates",
+    "ett_link_weights",
+    "ground_truth_link_error",
+    "topology_node_count",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared link-quality primitives (ground truth the builders route over)
+# ---------------------------------------------------------------------------
+def ground_truth_link_error(
+    network: MeshNetwork, link: Link, frame_bytes: int = 1500
+) -> float:
+    """Channel (non-collision) error probability of a directed link.
+
+    Computed from the medium's error model at the link's SNR — the same
+    quantity the link would exhibit with no interfering traffic.
+    """
+    medium = network.medium
+    override = medium.link_error_override.get(link)
+    if override is not None:
+        return min(1.0, override)
+    rate = network.link_rate(link)
+    snr = medium.rx_power_dbm(*link) - medium.capture.noise_floor_dbm
+    if medium.rx_power_dbm(*link) < rate.rx_sensitivity_dbm:
+        return 1.0
+    return medium.error_model.packet_error_probability(snr, rate, frame_bytes)
+
+
+def ett_link_weights(
+    network: MeshNetwork,
+    packet_bytes: int = 1500,
+    max_loss: float = 0.8,
+    min_snr_margin_db: float = 14.0,
+) -> dict[Link, float]:
+    """ETT weight of every usable directed link in the network.
+
+    Links whose SNR sits less than ``min_snr_margin_db`` above their
+    modulation's requirement are excluded: they may look loss-free in
+    isolation but any co-channel interference destroys them, so neither a
+    real routing metric (whose ETX is measured during operation) nor a
+    careful operator would route over them.
+    """
+    weights: dict[Link, float] = {}
+    medium = network.medium
+    for tx in network.node_ids:
+        for rx in network.node_ids:
+            if tx == rx:
+                continue
+            link = (tx, rx)
+            rate = network.link_rate(link)
+            snr = medium.rx_power_dbm(tx, rx) - medium.capture.noise_floor_dbm
+            if snr < rate.min_sinr_db + min_snr_margin_db:
+                continue
+            p_fwd = ground_truth_link_error(network, link, packet_bytes)
+            p_rev = ground_truth_link_error(network, (rx, tx), 60)
+            if p_fwd > max_loss:
+                continue
+            weights[link] = ett(p_fwd, p_rev, packet_bytes, network.link_rate(link))
+    return weights
+
+
+def assign_link_rates(
+    network: MeshNetwork, rate_mode: str, rng: np.random.Generator
+) -> None:
+    """Fix per-link modulations: all 1 Mb/s, all 11 Mb/s or a mix.
+
+    In mixed mode strong links run at 11 Mb/s and marginal links drop to
+    1 Mb/s, which is what a rate-adaptation-disabled operator would
+    configure by hand (and mirrors the paper's (1, 11) configurations).
+    """
+    for tx in network.node_ids:
+        for rx in network.node_ids:
+            if tx == rx:
+                continue
+            if rate_mode == "1":
+                network.set_link_rate((tx, rx), RATE_1MBPS)
+            elif rate_mode == "11":
+                network.set_link_rate((tx, rx), RATE_11MBPS)
+            else:
+                snr = network.medium.rx_power_dbm(tx, rx) - network.medium.capture.noise_floor_dbm
+                threshold = 24.0 + float(rng.uniform(-2.0, 2.0))
+                rate = RATE_11MBPS if snr >= threshold else RATE_1MBPS
+                network.set_link_rate((tx, rx), rate)
+
+
+# ---------------------------------------------------------------------------
+# Topology generators
+# ---------------------------------------------------------------------------
+TopologyBuilder = Callable[[Mapping[str, Any], int], Positions]
+
+
+@dataclass(frozen=True)
+class _Registration:
+    build: Callable[..., Any]
+    description: str
+
+
+_TOPOLOGIES: dict[str, _Registration] = {}
+_WORKLOADS: dict[str, _Registration] = {}
+
+
+def register_topology(
+    name: str, *, description: str = ""
+) -> Callable[[TopologyBuilder], TopologyBuilder]:
+    """Register ``builder(params, seed) -> Positions`` under ``name``.
+
+    ``params`` is the plain-dict form of the experiment layer's
+    ``TopologySpec`` (builders read the keys they care about and fall
+    back to the spec defaults), so a registered generator is immediately
+    drivable from a serialized spec.
+    """
+
+    def decorator(builder: TopologyBuilder) -> TopologyBuilder:
+        if name in _TOPOLOGIES:
+            raise ValueError(f"topology generator {name!r} is already registered")
+        _TOPOLOGIES[name] = _Registration(
+            build=builder, description=description or (builder.__doc__ or "").strip()
+        )
+        return builder
+
+    return decorator
+
+
+def register_workload(
+    name: str, *, description: str = ""
+) -> Callable[
+    [Callable[["WorkloadContext"], list["GeneratedFlow"]]],
+    Callable[["WorkloadContext"], list["GeneratedFlow"]],
+]:
+    """Register ``builder(ctx) -> [GeneratedFlow, ...]`` under ``name``."""
+
+    def decorator(builder):
+        if name in _WORKLOADS:
+            raise ValueError(f"workload generator {name!r} is already registered")
+        _WORKLOADS[name] = _Registration(
+            build=builder, description=description or (builder.__doc__ or "").strip()
+        )
+        return builder
+
+    return decorator
+
+
+def topology_names() -> list[str]:
+    """Every registered topology generator name, sorted."""
+    return sorted(_TOPOLOGIES)
+
+
+def workload_names() -> list[str]:
+    """Every registered workload generator name, sorted."""
+    return sorted(_WORKLOADS)
+
+
+def topology_description(name: str) -> str:
+    """The one-line description a topology generator registered with."""
+    return _lookup(_TOPOLOGIES, name, "topology generator").description
+
+
+def workload_description(name: str) -> str:
+    """The one-line description a workload generator registered with."""
+    return _lookup(_WORKLOADS, name, "workload generator").description
+
+
+def _lookup(
+    registry: dict[str, _Registration], name: str, kind: str
+) -> _Registration:
+    if name not in registry:
+        raise KeyError(
+            f"unknown {kind} {name!r}; registered: {sorted(registry)}"
+        )
+    return registry[name]
+
+
+def build_topology(
+    kind: str, params: Mapping[str, Any] | None = None, seed: int = 0
+) -> Positions:
+    """Materialize node positions via the registered generator ``kind``."""
+    registration = _lookup(_TOPOLOGIES, kind, "topology generator")
+    return registration.build(dict(params or {}), seed)
+
+
+def topology_node_count(kind: str, params: Mapping[str, Any] | None = None) -> int:
+    """Node count a generator would produce, without building positions.
+
+    The sweep planner's cost heuristic uses this so generated scenarios
+    are ordered by their real size rather than a fallback guess.  It is
+    deliberately lenient — an unknown or third-party kind costs as
+    testbed-sized (18 nodes) instead of raising, because payloads may be
+    planned in a process that never registered the generator.
+    """
+    params = dict(params or {})
+    if kind in ("chain", "line", "ring", "random_disk"):
+        return int(params.get("num_nodes", 3))
+    if kind == "grid":
+        return int(params.get("rows", 2)) * int(params.get("cols", 2))
+    if kind == "binary_tree":
+        return 2 ** int(params.get("depth", 3)) - 1
+    if kind == "parking_lot":
+        return 2 * int(params.get("num_nodes", 3)) - 1
+    if kind == "testbed":
+        return 18
+    if kind == "positions":
+        return max(len(params.get("positions", ())), 2)
+    return 18  # third-party/unknown generator: assume testbed-sized
+
+
+@register_topology("chain", description="N nodes in a line (classic multi-hop chain)")
+def _chain(params: Mapping[str, Any], seed: int) -> Positions:
+    return chain_topology(
+        int(params.get("num_nodes", 3)), spacing_m=float(params.get("spacing_m", 60.0))
+    )
+
+
+@register_topology("line", description="alias of 'chain': N nodes in a line")
+def _line(params: Mapping[str, Any], seed: int) -> Positions:
+    return _chain(params, seed)
+
+
+@register_topology("grid", description="rows x cols lattice of nodes")
+def _grid(params: Mapping[str, Any], seed: int) -> Positions:
+    return grid_topology(
+        int(params.get("rows", 2)),
+        int(params.get("cols", 2)),
+        spacing_m=float(params.get("spacing_m", 60.0)),
+    )
+
+
+@register_topology("ring", description="N nodes evenly spaced on a circle")
+def _ring(params: Mapping[str, Any], seed: int) -> Positions:
+    return ring_topology(
+        int(params.get("num_nodes", 3)), radius_m=float(params.get("radius_m", 150.0))
+    )
+
+
+@register_topology(
+    "random_disk",
+    description="N nodes placed uniformly in a disk with a minimum separation",
+)
+def _random_disk(params: Mapping[str, Any], seed: int) -> Positions:
+    return random_disk_topology(
+        int(params.get("num_nodes", 3)),
+        radius_m=float(params.get("radius_m", 150.0)),
+        seed=seed,
+        min_separation_m=float(params.get("min_separation_m", 25.0)),
+    )
+
+
+@register_topology(
+    "binary_tree", description="complete binary tree aggregating towards a root gateway"
+)
+def _binary_tree(params: Mapping[str, Any], seed: int) -> Positions:
+    return binary_tree_topology(
+        int(params.get("depth", 3)), spacing_m=float(params.get("spacing_m", 60.0))
+    )
+
+
+@register_topology(
+    "parking_lot", description="backbone chain with one entry stub per junction"
+)
+def _parking_lot(params: Mapping[str, Any], seed: int) -> Positions:
+    return parking_lot_topology(
+        int(params.get("num_nodes", 3)),
+        spacing_m=float(params.get("spacing_m", 60.0)),
+        stub_m=float(params.get("stub_m", 45.0)),
+    )
+
+
+@register_topology(
+    "testbed", description="the paper's synthetic 18-node testbed layout"
+)
+def _testbed(params: Mapping[str, Any], seed: int) -> Positions:
+    return testbed_positions(seed=seed, jitter_m=float(params.get("jitter_m", 6.0)))
+
+
+@register_topology("positions", description="explicit (node, x, y) coordinates")
+def _positions(params: Mapping[str, Any], seed: int) -> Positions:
+    return {
+        int(node): (float(x), float(y))
+        for node, x, y in params.get("positions", ())
+    }
+
+
+# ---------------------------------------------------------------------------
+# Radio profiles
+# ---------------------------------------------------------------------------
+#: Named radio parameter presets.  Values override :class:`RadioConfig`
+#: defaults; the data/basic modulation rates are supplied by the caller
+#: (scenarios carry their own ``data_rate_mbps``).
+RADIO_PROFILES: dict[str, dict[str, float]] = {
+    "default": {},
+    # Reduced carrier-sense sensitivity: with the default -91 dBm CS
+    # threshold every node of a short chain senses every other, which
+    # masks hidden-terminal collisions.  Raising the threshold (a knob
+    # real drivers expose) shrinks the carrier-sense range below two
+    # hops — the data/ACK collision pattern of Shi et al. that the
+    # Figure 13 TCP starvation scenario studies.
+    "hidden_terminal": {"cs_threshold_dbm": -74.0},
+    # Milder CS reduction used by the Section 4.3 pair pathologies.
+    "reduced_cs": {"cs_threshold_dbm": -85.0},
+    # Power variants: denser single-cell coverage vs. more spatial reuse.
+    "high_power": {"tx_power_dbm": 25.0},
+    "low_power": {"tx_power_dbm": 12.0},
+}
+
+
+def radio_profile_names() -> list[str]:
+    """Every named radio profile, sorted."""
+    return sorted(RADIO_PROFILES)
+
+
+def radio_profile_params(name: str) -> dict[str, float]:
+    """The parameter overrides of a named radio profile."""
+    if name not in RADIO_PROFILES:
+        raise KeyError(
+            f"unknown radio profile {name!r}; registered: {radio_profile_names()}"
+        )
+    return dict(RADIO_PROFILES[name])
+
+
+def radio_profile_config(
+    name: str, data_rate_mbps: float = 11.0, basic_rate_mbps: float = 1.0
+) -> RadioConfig:
+    """A ready :class:`RadioConfig` for a named profile at the given rates."""
+    params = radio_profile_params(name)
+    return RadioConfig(
+        data_rate=rate_from_mbps(data_rate_mbps),
+        basic_rate=rate_from_mbps(basic_rate_mbps),
+        **params,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Workload generators
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GeneratedFlow:
+    """One declarative flow a workload generator produced.
+
+    ``rate_bps`` follows ``MeshNetwork.add_udp_flow`` semantics: ``None``
+    is a backlogged/saturating source, ``0.0`` starts idle until the
+    controller programs it, and a positive value is a CBR source.  TCP
+    flows are window-limited and ignore it.
+    """
+
+    transport: str
+    path: tuple[int, ...]
+    rate_bps: float | None = None
+    payload_bytes: int = 1470
+    mss_bytes: int = 1460
+
+
+@dataclass
+class WorkloadContext:
+    """Everything a workload builder needs: the network, ETT routes and a
+    generator-private RNG stream, plus the demand parameters."""
+
+    network: MeshNetwork
+    router: Router
+    rng: np.random.Generator
+    num_flows: int = 4
+    max_hops: int = 4
+    rate_bps: float | None = None
+    tcp_fraction: float = 0.5
+    payload_bytes: int = 1470
+    mss_bytes: int = 1460
+    demand_exponent: float = 1.0
+
+    def routable_demands(self) -> list[tuple[int, int, list[int]]]:
+        """Every ordered ``(src, dst, path)`` whose ETT route fits
+        ``max_hops``, in deterministic (sorted node id) order."""
+        demands: list[tuple[int, int, list[int]]] = []
+        for src in self.network.node_ids:
+            for dst in self.network.node_ids:
+                if src == dst:
+                    continue
+                path = self.router.shortest_path(src, dst)
+                if path is None:
+                    continue
+                if 1 <= len(path) - 1 <= self.max_hops:
+                    demands.append((src, dst, path))
+        return demands
+
+    def sample_demand_indices(
+        self,
+        weights: "np.ndarray | None" = None,
+        candidates: list[tuple[int, int, list[int]]] | None = None,
+    ) -> tuple[list[tuple[int, int, list[int]]], list[int]]:
+        """All routable demands plus ``num_flows`` sampled indices into
+        them (all indices when fewer exist), without replacement and
+        optionally biased by per-candidate ``weights``.  The indices are
+        returned sorted, so selection order is deterministic given the
+        RNG stream.  Generators that need per-demand metadata (gravity
+        weights) use the indices; plain generators use
+        :meth:`sample_demands`.
+        """
+        if candidates is None:
+            candidates = self.routable_demands()
+        if not candidates:
+            raise RuntimeError(
+                "no routable demands: every candidate route exceeds "
+                f"max_hops={self.max_hops} or has no usable links — "
+                "if the topology is sparse (large ring radius, wide "
+                "random disk), shrink the geometry, drop data_rate_mbps "
+                "to 1, or raise max_hops"
+            )
+        if len(candidates) <= self.num_flows:
+            return candidates, list(range(len(candidates)))
+        p = None
+        if weights is not None:
+            total = float(weights.sum())
+            if total > 0:
+                p = weights / total
+        chosen = self.rng.choice(
+            len(candidates), size=self.num_flows, replace=False, p=p
+        )
+        return candidates, sorted(int(index) for index in chosen)
+
+    def sample_demands(self) -> list[tuple[int, int, list[int]]]:
+        """``num_flows`` routable demands sampled uniformly without
+        replacement (all of them when fewer exist)."""
+        candidates, indices = self.sample_demand_indices()
+        return [candidates[index] for index in indices]
+
+
+def workload_rng(generator: str, seed: int) -> np.random.Generator:
+    """The named, generator-private RNG stream for a workload draw.
+
+    Spawned from ``seed`` with a CRC32 key of ``"workload.<generator>"``
+    (:func:`repro.engine.rng_spawn_key`), so two generators never share a
+    stream and adding draws to one cannot perturb another — the same
+    discipline the simulation kernel uses for its components.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(
+            entropy=seed, spawn_key=(rng_spawn_key(f"workload.{generator}"),)
+        )
+    )
+
+
+def generate_workload(
+    network: MeshNetwork,
+    generator: str,
+    seed: int = 0,
+    router: Router | None = None,
+    **params: Any,
+) -> list[GeneratedFlow]:
+    """Run the registered workload ``generator`` against ``network``.
+
+    ``params`` populate :class:`WorkloadContext` (``num_flows``,
+    ``max_hops``, ``rate_bps``, ``tcp_fraction``, ``payload_bytes``,
+    ``mss_bytes``, ``demand_exponent``).  ``router`` defaults to an ETT
+    router over the network's ground-truth link weights.  The returned
+    flows are declarative — the caller decides when to add them to the
+    network — and deterministic in ``(generator, params, seed)``.
+    """
+    registration = _lookup(_WORKLOADS, generator, "workload generator")
+    if router is None:
+        router = Router(network.node_ids, ett_link_weights(network))
+    ctx = WorkloadContext(
+        network=network,
+        router=router,
+        rng=workload_rng(generator, seed),
+        **params,
+    )
+    flows = registration.build(ctx)
+    if not flows:
+        raise RuntimeError(f"workload generator {generator!r} produced no flows")
+    return flows
+
+
+@register_workload(
+    "saturated_udp",
+    description="backlogged UDP over randomly sampled routable demands",
+)
+def _saturated_udp(ctx: WorkloadContext) -> list[GeneratedFlow]:
+    return [
+        GeneratedFlow(
+            transport="udp",
+            path=tuple(path),
+            rate_bps=ctx.rate_bps,
+            payload_bytes=ctx.payload_bytes,
+            mss_bytes=ctx.mss_bytes,
+        )
+        for _, _, path in ctx.sample_demands()
+    ]
+
+
+@register_workload(
+    "tcp_bulk", description="window-limited TCP bulk transfers over routed demands"
+)
+def _tcp_bulk(ctx: WorkloadContext) -> list[GeneratedFlow]:
+    return [
+        GeneratedFlow(
+            transport="tcp",
+            path=tuple(path),
+            payload_bytes=ctx.payload_bytes,
+            mss_bytes=ctx.mss_bytes,
+        )
+        for _, _, path in ctx.sample_demands()
+    ]
+
+
+@register_workload(
+    "mixed_tcp_udp",
+    description="per-flow coin flip between TCP bulk and UDP at tcp_fraction",
+)
+def _mixed_tcp_udp(ctx: WorkloadContext) -> list[GeneratedFlow]:
+    flows: list[GeneratedFlow] = []
+    for _, _, path in ctx.sample_demands():
+        transport = "tcp" if ctx.rng.uniform() < ctx.tcp_fraction else "udp"
+        flows.append(
+            GeneratedFlow(
+                transport=transport,
+                path=tuple(path),
+                rate_bps=None if transport == "tcp" else ctx.rate_bps,
+                payload_bytes=ctx.payload_bytes,
+                mss_bytes=ctx.mss_bytes,
+            )
+        )
+    return flows
+
+
+@register_workload(
+    "gravity",
+    description="UDP demands biased by per-node gravity weights, CBR budget split",
+)
+def _gravity(ctx: WorkloadContext) -> list[GeneratedFlow]:
+    """Gravity-style demands: each node draws a weight, a demand (i, j)
+    attracts traffic proportionally to ``(w_i * w_j) ** demand_exponent``.
+    With a positive ``rate_bps`` the total budget ``rate_bps * num_flows``
+    is split across the chosen demands proportionally to their gravity
+    weight; with ``rate_bps=None`` sources are saturated and the weights
+    only bias *which* demands exist."""
+    node_ids = ctx.network.node_ids
+    node_weight = {
+        node: float(w)
+        for node, w in zip(node_ids, ctx.rng.uniform(0.1, 1.0, size=len(node_ids)))
+    }
+    candidates = ctx.routable_demands()
+    gravity = np.array(
+        [
+            (node_weight[src] * node_weight[dst]) ** ctx.demand_exponent
+            for src, dst, _ in candidates
+        ],
+        dtype=float,
+    )
+    candidates, indices = ctx.sample_demand_indices(
+        weights=gravity, candidates=candidates
+    )
+    chosen = [candidates[i] for i in indices]
+    chosen_gravity = gravity[indices]
+    rates: list[float | None]
+    if ctx.rate_bps is None or ctx.rate_bps <= 0.0:
+        rates = [ctx.rate_bps] * len(chosen)
+    else:
+        budget = ctx.rate_bps * ctx.num_flows
+        total_gravity = float(chosen_gravity.sum())
+        if total_gravity > 0.0:
+            share = chosen_gravity / total_gravity
+        else:
+            # Every chosen weight underflowed to 0 (an extreme
+            # demand_exponent): split the budget evenly rather than
+            # handing each flow a NaN rate.
+            share = np.full(len(chosen), 1.0 / len(chosen))
+        rates = [float(budget * s) for s in share]
+    return [
+        GeneratedFlow(
+            transport="udp",
+            path=tuple(path),
+            rate_bps=rate,
+            payload_bytes=ctx.payload_bytes,
+            mss_bytes=ctx.mss_bytes,
+        )
+        for (_, _, path), rate in zip(chosen, rates)
+    ]

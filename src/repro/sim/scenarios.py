@@ -25,11 +25,28 @@ from typing import Literal
 
 import numpy as np
 
-from repro.mac.constants import MAC_OVERHEAD_BYTES
-from repro.net.routing import FlowRoute, Router, ett
-from repro.phy.radio import RATE_1MBPS, RATE_11MBPS, RadioConfig, rate_from_mbps
+from repro.net.routing import FlowRoute, Router
+from repro.phy.radio import RadioConfig
+from repro.sim.generators import (
+    assign_link_rates,
+    ett_link_weights,
+    ground_truth_link_error,
+    radio_profile_config,
+)
 from repro.sim.network import MeshNetwork, TcpFlowHandle, UdpFlowHandle
 from repro.sim.topology import chain_topology, testbed_positions, testbed_propagation
+
+__all__ = [
+    "MultiFlowScenario",
+    "StarvationScenario",
+    "assign_link_rates",
+    "build_testbed_network",
+    "ett_link_weights",
+    "ground_truth_link_error",
+    "hidden_terminal_radio",
+    "random_multiflow_scenario",
+    "starvation_scenario",
+]
 
 Link = tuple[int, int]
 RateMode = Literal["1", "11", "mixed"]
@@ -56,82 +73,6 @@ def build_testbed_network(
         propagation=testbed_propagation(seed=seed, shadowing_sigma_db=shadowing_sigma_db),
         data_rate_mbps=data_rate_mbps,
     )
-
-
-def ground_truth_link_error(
-    network: MeshNetwork, link: Link, frame_bytes: int = 1500
-) -> float:
-    """Channel (non-collision) error probability of a directed link.
-
-    Computed from the medium's error model at the link's SNR — the same
-    quantity the link would exhibit with no interfering traffic.
-    """
-    medium = network.medium
-    override = medium.link_error_override.get(link)
-    if override is not None:
-        return min(1.0, override)
-    rate = network.link_rate(link)
-    snr = medium.rx_power_dbm(*link) - medium.capture.noise_floor_dbm
-    if medium.rx_power_dbm(*link) < rate.rx_sensitivity_dbm:
-        return 1.0
-    return medium.error_model.packet_error_probability(snr, rate, frame_bytes)
-
-
-def ett_link_weights(
-    network: MeshNetwork,
-    packet_bytes: int = 1500,
-    max_loss: float = 0.8,
-    min_snr_margin_db: float = 14.0,
-) -> dict[Link, float]:
-    """ETT weight of every usable directed link in the network.
-
-    Links whose SNR sits less than ``min_snr_margin_db`` above their
-    modulation's requirement are excluded: they may look loss-free in
-    isolation but any co-channel interference destroys them, so neither a
-    real routing metric (whose ETX is measured during operation) nor a
-    careful operator would route over them.
-    """
-    weights: dict[Link, float] = {}
-    medium = network.medium
-    for tx in network.node_ids:
-        for rx in network.node_ids:
-            if tx == rx:
-                continue
-            link = (tx, rx)
-            rate = network.link_rate(link)
-            snr = medium.rx_power_dbm(tx, rx) - medium.capture.noise_floor_dbm
-            if snr < rate.min_sinr_db + min_snr_margin_db:
-                continue
-            p_fwd = ground_truth_link_error(network, link, packet_bytes)
-            p_rev = ground_truth_link_error(network, (rx, tx), 60)
-            if p_fwd > max_loss:
-                continue
-            weights[link] = ett(p_fwd, p_rev, packet_bytes, network.link_rate(link))
-    return weights
-
-
-def assign_link_rates(
-    network: MeshNetwork, rate_mode: RateMode, rng: np.random.Generator
-) -> None:
-    """Fix per-link modulations: all 1 Mb/s, all 11 Mb/s or a mix.
-
-    In mixed mode strong links run at 11 Mb/s and marginal links drop to
-    1 Mb/s, which is what a rate-adaptation-disabled operator would
-    configure by hand (and mirrors the paper's (1, 11) configurations).
-    """
-    for tx in network.node_ids:
-        for rx in network.node_ids:
-            if tx == rx:
-                continue
-            if rate_mode == "1":
-                network.set_link_rate((tx, rx), RATE_1MBPS)
-            elif rate_mode == "11":
-                network.set_link_rate((tx, rx), RATE_11MBPS)
-            else:
-                snr = network.medium.rx_power_dbm(tx, rx) - network.medium.capture.noise_floor_dbm
-                threshold = 24.0 + float(rng.uniform(-2.0, 2.0))
-                rate = RATE_11MBPS if snr >= threshold else RATE_1MBPS
-                network.set_link_rate((tx, rx), rate)
 
 
 @dataclass
@@ -229,13 +170,13 @@ def random_multiflow_scenario(
 def hidden_terminal_radio(data_rate_mbps: float = 1) -> RadioConfig:
     """Radio configuration with reduced carrier-sense sensitivity.
 
-    With the default -91 dBm CS threshold every node of a short chain
-    senses every other, which masks the hidden-terminal collisions that
-    cause TCP starvation.  Raising the threshold (a knob real drivers
-    expose) shrinks the carrier-sense range below two hops and recreates
-    the data/ACK collision pattern of Shi et al. that Figure 13 studies.
+    Thin preset over the ``"hidden_terminal"`` profile of
+    :mod:`repro.sim.generators`: raising the CS threshold (a knob real
+    drivers expose) shrinks the carrier-sense range below two hops and
+    recreates the data/ACK collision pattern of Shi et al. that
+    Figure 13 studies.
     """
-    return RadioConfig(cs_threshold_dbm=-74.0, data_rate=rate_from_mbps(data_rate_mbps))
+    return radio_profile_config("hidden_terminal", data_rate_mbps=data_rate_mbps)
 
 
 @dataclass

@@ -44,11 +44,14 @@ from repro import (  # noqa: E402
     FlowSpec,
     ProbingSpec,
     ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
     run_experiment,
 )
 
-#: One deliberately small experiment per registered scenario.  Keep these
-#: cheap (well under a second each): they run in every tier-1 pass.
+#: One deliberately small experiment per registered scenario, plus extra
+#: regression grids (multi-cycle controller convergence).  Keep these
+#: cheap (a few seconds each at most): they run in every tier-1 pass.
 GOLDEN_SPECS: dict[str, ExperimentSpec] = {
     "chain": ExperimentSpec(
         scenario=ScenarioSpec(
@@ -97,6 +100,41 @@ GOLDEN_SPECS: dict[str, ExperimentSpec] = {
         cycle_measure_s=5.0,
         settle_s=1.0,
         label="golden-starvation",
+    ),
+    # The declarative generator composition: grid topology x mixed
+    # TCP/UDP workload, all randomness from named seed-derived streams.
+    "generated": ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="generated",
+            seed=4,
+            topology=TopologySpec(kind="grid", rows=2, cols=2, spacing_m=55.0),
+            workload=WorkloadSpec(
+                generator="mixed_tcp_udp", num_flows=2, max_hops=2, rate_bps=0.0
+            ),
+            rate_mode="11",
+        ),
+        probing=ProbingSpec(warmup_s=5.0),
+        controller=ControllerSpec(alpha=1.0, probing_window=40),
+        cycles=1,
+        cycle_measure_s=3.0,
+        settle_s=0.5,
+        label="golden-generated",
+    ),
+    # Multi-cycle RC regression: freezes controller *convergence* across
+    # optimizer cycles, not just the single-cycle outcome — every cycle's
+    # targets and achieved rates are in the fixture.
+    "chain_multicycle": ExperimentSpec(
+        scenario=ScenarioSpec(
+            scenario="chain",
+            seed=2,
+            flows=(FlowSpec("udp", (0, 1, 2)), FlowSpec("udp", (1, 2))),
+        ),
+        probing=ProbingSpec(warmup_s=5.0),
+        controller=ControllerSpec(alpha=1.0, probing_window=40),
+        cycles=3,
+        cycle_measure_s=2.0,
+        settle_s=0.5,
+        label="golden-chain-multicycle",
     ),
 }
 

@@ -422,3 +422,83 @@ class TestBatchIntegration:
         result = BatchRunner(sweep[:1], parallel=False, cache=False).run()
         assert result.cache_hits == 0 and result.cache_misses == 0
         assert "from cache" not in result.report().render()
+
+
+class TestMeasuredCostLedger:
+    """Per-digest wall clocks recorded on writeback (the planner's
+    learned cost model) — they must outlive the payloads themselves."""
+
+    def _payload(self, wall_s: float) -> dict:
+        return {"cycles": [], "runtime": {"wall_time_s": wall_s}}
+
+    def test_put_records_the_payloads_wall_clock(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = {"label": "cost-probe"}
+        assert cache.measured_cost_s(spec) is None
+        cache.put_payload(spec, self._payload(2.5))
+        assert cache.measured_cost_s(spec) == 2.5
+        assert cache.measured_cost_s(cache.key(spec)) == 2.5  # digest form
+
+    def test_cost_survives_eviction_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=1)
+        first, second = {"label": "a"}, {"label": "b"}
+        cache.put_payload(first, self._payload(1.5))
+        cache.put_payload(second, self._payload(2.5))  # evicts `first`
+        assert cache.get_payload(first) is None  # payload gone...
+        assert cache.measured_cost_s(first) == 1.5  # ...cost remembered
+        cache.clear()
+        assert cache.measured_cost_s(second) == 2.5
+
+    def test_cost_persists_to_a_fresh_handle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = {"label": "persisted"}
+        cache.put_payload(spec, self._payload(3.25))
+        assert ResultCache(tmp_path).measured_cost_s(spec) == 3.25
+
+    def test_runtime_free_payloads_record_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = {"label": "no-runtime"}
+        cache.put_payload(spec, {"cycles": []})
+        assert cache.measured_cost_s(spec) is None
+        assert cache.cost_ledger_size == 0
+
+    def test_malformed_ledger_is_dropped_not_fatal(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = {"label": "x"}
+        cache.put_payload(spec, self._payload(1.0))
+        index_file = tmp_path / "index.json"
+        data = json.loads(index_file.read_text(encoding="utf-8"))
+        data["costs"] = {"deadbeef": "not-a-number", "cafe": -3, "feed": 2.0}
+        index_file.write_text(json.dumps(data), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.measured_cost_s("feed") == 2.0
+        assert fresh.measured_cost_s("deadbeef") is None
+        assert fresh.measured_cost_s("cafe") is None
+
+    def test_concurrent_writers_merge_their_ledgers(self, tmp_path):
+        stale = ResultCache(tmp_path)
+        stale.put_payload({"label": "mine"}, self._payload(1.0))
+        other = ResultCache(tmp_path)
+        other.put_payload({"label": "theirs"}, self._payload(2.0))
+        # The stale handle flushes last; the other writer's cost must
+        # survive the read-merge-write.
+        stale.put_payload({"label": "mine-2"}, self._payload(3.0))
+        fresh = ResultCache(tmp_path)
+        assert fresh.measured_cost_s({"label": "theirs"}) == 2.0
+        assert fresh.measured_cost_s({"label": "mine"}) == 1.0
+
+    def test_non_finite_costs_are_rejected(self, tmp_path):
+        """json round-trips bare Infinity; one inf cost would blow up
+        the planner's calibration ratio, so the ledger must drop it."""
+        cache = ResultCache(tmp_path)
+        cache.put_payload({"label": "inf"}, self._payload(float("inf")))
+        assert cache.measured_cost_s({"label": "inf"}) is None
+        cache.put_payload({"label": "ok"}, self._payload(1.0))
+        index_file = tmp_path / "index.json"
+        text = index_file.read_text(encoding="utf-8")
+        data = json.loads(text)
+        data["costs"]["deadbeef"] = float("inf")  # json dumps as Infinity
+        index_file.write_text(json.dumps(data), encoding="utf-8")
+        fresh = ResultCache(tmp_path)
+        assert fresh.measured_cost_s("deadbeef") is None
+        assert fresh.measured_cost_s({"label": "ok"}) == 1.0

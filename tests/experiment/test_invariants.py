@@ -31,10 +31,14 @@ from repro.experiment import (
     FlowSpec,
     ProbingSpec,
     ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
 )
 
 # --------------------------------------------------------------------------
-# The seeded grid: scenarios x controllers, all cheap enough for tier-1.
+# The seeded grid: scenarios x controllers — canned presets plus
+# generator-built scenarios (grid and parking-lot topologies with
+# controller-managed workloads) — all cheap enough for tier-1.
 # --------------------------------------------------------------------------
 def _grid() -> list[ExperimentSpec]:
     chain = ScenarioSpec(
@@ -69,6 +73,37 @@ def _grid() -> list[ExperimentSpec]:
             label="grid-starvation",
         )
     )
+    # Generator-built scenarios: the invariants must hold for the open
+    # scenario space too, not just the four canned presets.
+    for label, topology, workload in [
+        (
+            "grid-generated-grid",
+            TopologySpec(kind="grid", rows=2, cols=2, spacing_m=55.0),
+            WorkloadSpec(generator="saturated_udp", num_flows=2, max_hops=2, rate_bps=0.0),
+        ),
+        (
+            "grid-generated-parking-lot",
+            TopologySpec(kind="parking_lot", num_nodes=3, spacing_m=55.0),
+            WorkloadSpec(generator="gravity", num_flows=2, max_hops=3, rate_bps=0.0),
+        ),
+    ]:
+        specs.append(
+            ExperimentSpec(
+                scenario=ScenarioSpec(
+                    scenario="generated",
+                    seed=4,
+                    topology=topology,
+                    workload=workload,
+                    rate_mode="11",
+                ),
+                probing=ProbingSpec(warmup_s=5.0),
+                controller=ControllerSpec(alpha=1.0, probing_window=40),
+                cycles=1,
+                cycle_measure_s=2.0,
+                settle_s=0.5,
+                label=label,
+            )
+        )
     return specs
 
 
@@ -121,7 +156,9 @@ class TestExperimentInvariants:
                             continue
                         share += rate / capacity
                     assert share <= 1.0 + 1e-6
-        assert checked >= 3  # the grid genuinely exercises the optimizer
+        # The grid genuinely exercises the optimizer — including on the
+        # generator-built grid and parking-lot scenarios.
+        assert checked >= 5
 
     def test_lir_estimates_in_unit_interval(self, grid_results):
         """Measured pair throughputs can only realize LIRs in [0, 1]."""

@@ -168,3 +168,114 @@ class TestEmptySweeps:
 
         stats = SweepPlanner().plan([_spec(0).to_dict()]).stats
         assert json.loads(json.dumps(stats.as_dict()))["total"] == 1
+
+
+class TestLearnedCosts:
+    """Satellite: the planner prefers measured per-digest wall clocks
+    (recorded in the ResultCache index on writeback) over the static
+    estimate_cost_s heuristic when ordering misses slowest-first."""
+
+    def test_measured_costs_override_a_wrong_static_order(self, tmp_path):
+        # Static heuristic says `big` (5x the simulated seconds) goes
+        # first; the ledger knows better.
+        small = _spec(0).to_dict()
+        big = _spec(1, cycles=5).to_dict()
+        cache = ResultCache(tmp_path)
+        cache.put_payload(small, {"runtime": {"wall_time_s": 9.0}})
+        cache.put_payload(big, {"runtime": {"wall_time_s": 0.3}})
+        cache.clear()
+        plan = SweepPlanner(cache).plan([small, big])
+        assert [job.indices[0] for job in plan.jobs] == [0, 1]
+        assert all(job.measured for job in plan.jobs)
+        assert plan.stats.measured_jobs == 2
+        assert plan.jobs[0].cost_s == 9.0 and plan.jobs[0].est_cost_s != 9.0
+
+    def test_static_order_without_a_cache_is_unchanged(self):
+        small = _spec(0).to_dict()
+        big = _spec(1, cycles=5).to_dict()
+        plan = SweepPlanner().plan([small, big])
+        assert [job.indices[0] for job in plan.jobs] == [1, 0]
+        assert plan.stats.measured_jobs == 0
+        assert all(job.cost_s == job.est_cost_s for job in plan.jobs)
+
+    def test_unmeasured_jobs_are_rescaled_onto_the_measured_scale(self, tmp_path):
+        # One measured job calibrates the wall-clock scale; the
+        # unmeasured job keeps its heuristic, rescaled by the ratio.
+        measured = _spec(0).to_dict()
+        unmeasured = _spec(1).to_dict()  # identical estimate
+        cache = ResultCache(tmp_path)
+        cache.put_payload(measured, {"runtime": {"wall_time_s": 4.0}})
+        cache.clear()
+        plan = SweepPlanner(cache).plan([measured, unmeasured])
+        by_slot = {job.indices[0]: job for job in plan.jobs}
+        ratio = 4.0 / by_slot[0].est_cost_s
+        assert by_slot[0].cost_s == 4.0
+        assert by_slot[1].cost_s == pytest.approx(by_slot[1].est_cost_s * ratio)
+
+    def test_batch_runner_writeback_feeds_the_ledger(self, tmp_path):
+        from repro.experiment import BatchRunner, SerialBackend
+
+        spec = ExperimentSpec(
+            scenario=ScenarioSpec(
+                scenario="chain", seed=0, flows=(FlowSpec("udp", (0, 1, 2)),)
+            ),
+            controller=ControllerSpec(enabled=False),
+            cycles=1,
+            cycle_measure_s=0.5,
+            settle_s=0.1,
+        )
+        cache = ResultCache(tmp_path)
+        BatchRunner([spec], backend=SerialBackend(), cache=cache).run()
+        cost = cache.measured_cost_s(spec.to_dict())
+        assert cost is not None and cost > 0.0
+
+    def test_node_count_heuristics_for_generated_kinds(self):
+        from repro.experiment.planner import _flow_count
+
+        assert _node_count({"topology": {"kind": "ring", "num_nodes": 9}}) == 9
+        assert _node_count({"topology": {"kind": "line", "num_nodes": 5}}) == 5
+        assert _node_count({"topology": {"kind": "random_disk", "num_nodes": 11}}) == 11
+        assert _node_count({"topology": {"kind": "binary_tree", "depth": 4}}) == 15
+        assert _node_count({"topology": {"kind": "parking_lot", "num_nodes": 4}}) == 7
+        assert _flow_count({"workload": {"num_flows": 6}}) == 6
+        assert _flow_count({"flows": [1, 2, 3]}) == 3
+        assert _flow_count({"scenario": "starvation"}) == 2
+
+    def test_generated_scenarios_cost_by_their_real_size(self):
+        from repro.experiment import TopologySpec as TS
+        from repro.experiment import WorkloadSpec
+
+        def generated(topology):
+            return ExperimentSpec(
+                scenario=ScenarioSpec(
+                    scenario="generated",
+                    topology=topology,
+                    workload=WorkloadSpec(num_flows=2),
+                ),
+                controller=ControllerSpec(enabled=False),
+                cycles=1,
+                cycle_measure_s=1.0,
+                settle_s=0.2,
+            ).to_dict()
+
+        small = generated(TS(kind="grid", rows=2, cols=2))
+        big = generated(TS(kind="grid", rows=4, cols=4))
+        assert estimate_cost_s(big) > estimate_cost_s(small)
+
+    def test_more_flows_cost_more(self):
+        from repro.experiment import WorkloadSpec
+
+        def with_flows(n):
+            return ExperimentSpec(
+                scenario=ScenarioSpec(
+                    scenario="generated",
+                    topology=TopologySpec(kind="grid", rows=2, cols=2),
+                    workload=WorkloadSpec(num_flows=n),
+                ),
+                controller=ControllerSpec(enabled=False),
+                cycles=1,
+                cycle_measure_s=1.0,
+                settle_s=0.2,
+            ).to_dict()
+
+        assert estimate_cost_s(with_flows(8)) > estimate_cost_s(with_flows(1))

@@ -17,7 +17,7 @@ from repro.experiment import (
 from repro.experiment.registry import BuiltScenario
 from repro.sim.network import TcpFlowHandle, UdpFlowHandle
 
-BUILTIN_SCENARIOS = ["chain", "random_multiflow", "starvation", "testbed"]
+BUILTIN_SCENARIOS = ["chain", "generated", "random_multiflow", "starvation", "testbed"]
 
 
 class TestDiscovery:
@@ -31,6 +31,16 @@ class TestDiscovery:
     def test_unknown_scenario_raises_spec_error(self):
         with pytest.raises(SpecError, match="unknown scenario"):
             build_scenario(ScenarioSpec(scenario="no-such-scenario"))
+
+    def test_unknown_scenario_error_lists_registered_names(self):
+        """A bare lookup failure is useless at a REPL; the error must
+        name every registered scenario (SpecError is a ValueError, so
+        generic `except ValueError` handling keeps working)."""
+        with pytest.raises(ValueError) as excinfo:
+            build_scenario(ScenarioSpec(scenario="no-such-scenario"))
+        message = str(excinfo.value)
+        for name in scenario_names():
+            assert name in message
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="already registered"):

@@ -1,5 +1,7 @@
 """Tests for topology factories and the pair classifier."""
 
+import math
+
 import pytest
 
 from repro.sim import MeshNetwork, no_shadowing_propagation
@@ -133,3 +135,83 @@ class TestTestbed:
                     graph.add_edge(i, j)
         assert nx.is_connected(graph)
         assert nx.diameter(graph) >= 2, "the testbed should require multi-hop routes"
+
+
+class TestGeneratorTopologies:
+    """The new position factories behind the topology generator registry."""
+
+    def test_ring_nodes_sit_on_the_circle(self):
+        from repro.sim.topology import ring_topology
+
+        positions = ring_topology(6, radius_m=100.0)
+        assert len(positions) == 6
+        for x, y in positions.values():
+            radius = math.hypot(x - 100.0, y - 100.0)
+            assert radius == pytest.approx(100.0)
+        assert min(x for x, _ in positions.values()) >= 0.0
+        assert min(y for _, y in positions.values()) >= 0.0
+
+    def test_ring_rejects_degenerate_inputs(self):
+        from repro.sim.topology import ring_topology
+
+        with pytest.raises(ValueError):
+            ring_topology(2)
+        with pytest.raises(ValueError):
+            ring_topology(5, radius_m=0.0)
+
+    def test_random_disk_is_seed_deterministic_and_in_bounds(self):
+        from repro.sim.topology import random_disk_topology
+
+        a = random_disk_topology(10, radius_m=120.0, seed=3)
+        b = random_disk_topology(10, radius_m=120.0, seed=3)
+        assert a == b
+        for x, y in a.values():
+            assert math.hypot(x - 120.0, y - 120.0) <= 120.0 + 1e-9
+
+    def test_random_disk_relaxes_an_impossible_separation(self):
+        from repro.sim.topology import random_disk_topology
+
+        # 12 nodes at >= 400 m pairwise cannot fit a 100 m disk; the
+        # factory must relax the separation instead of spinning forever.
+        positions = random_disk_topology(
+            12, radius_m=100.0, seed=1, min_separation_m=400.0, max_tries=50
+        )
+        assert len(positions) == 12
+
+    def test_binary_tree_level_order_ids(self):
+        from repro.sim.topology import binary_tree_topology
+
+        positions = binary_tree_topology(3, spacing_m=50.0)
+        assert len(positions) == 7  # 2**3 - 1
+        # Children sit one level below their parent, spread around it.
+        for parent in range(3):
+            _, parent_y = positions[parent]
+            for child in (2 * parent + 1, 2 * parent + 2):
+                _, child_y = positions[child]
+                assert child_y == pytest.approx(parent_y + 50.0)
+        with pytest.raises(ValueError):
+            binary_tree_topology(1)
+
+    def test_parking_lot_backbone_and_stubs(self):
+        from repro.sim.topology import parking_lot_topology
+
+        positions = parking_lot_topology(4, spacing_m=60.0, stub_m=40.0)
+        assert len(positions) == 7  # 4 backbone + 3 stubs
+        for i in range(4):
+            assert positions[i] == (i * 60.0, 0.0)
+        for i in range(3):
+            assert positions[4 + i] == (i * 60.0, 40.0)
+
+
+    def test_random_disk_separation_holds_for_many_nodes(self):
+        """Successful placements must not count towards the relaxation
+        trigger — only consecutive rejections do."""
+        from repro.sim.topology import random_disk_topology
+
+        positions = random_disk_topology(
+            60, radius_m=1e4, seed=5, min_separation_m=10.0, max_tries=50
+        )
+        points = list(positions.values())
+        for i, (x1, y1) in enumerate(points):
+            for x2, y2 in points[i + 1 :]:
+                assert (x1 - x2) ** 2 + (y1 - y2) ** 2 >= 10.0**2
