@@ -1,0 +1,147 @@
+"""Queue overhead — submit→collect throughput per execution backend.
+
+Not a paper figure: a harness figure.  The distributed backends pay for
+their fault tolerance in protocol overhead (task files or HTTP round
+trips, claim leases, poll ticks); this benchmark measures what that
+costs by pushing one sweep of deliberately tiny cells through every
+backend and comparing wall clocks against the inline serial reference.
+The per-backend numbers land in ``BENCH_queue.json`` next to the
+pytest-benchmark records, so queue-layer regressions show up as data,
+not vibes:
+
+* ``tasks_per_s`` — end-to-end submit→collect rate for the sweep;
+* ``overhead_s_per_task`` — extra seconds per cell over serial (the
+  queue machinery's cut: spawning drainers, claiming, heartbeating,
+  polling, collecting);
+* the planner stats of the sweep (duplicates, measured costs), for
+  context.
+
+Byte-identity across the backends is asserted here too — a throughput
+number for a backend that returns different bytes would be worse than
+useless.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import ExperimentReport
+from repro.experiment import (
+    BatchRunner,
+    BrokerBackend,
+    ControllerSpec,
+    ExperimentSpec,
+    FlowSpec,
+    ScenarioSpec,
+    SerialBackend,
+    WorkQueueBackend,
+    seed_sweep,
+)
+
+#: Deliberately tiny cells: the simulation must be cheap enough that the
+#: queue protocol, not the physics, dominates the measured difference.
+TINY_SPEC = ExperimentSpec(
+    scenario=ScenarioSpec(
+        scenario="chain", seed=1, flows=(FlowSpec("udp", (0, 1, 2)),)
+    ),
+    controller=ControllerSpec(enabled=False),
+    cycles=1,
+    cycle_measure_s=0.3,
+    settle_s=0.1,
+    label="queue-overhead",
+)
+NUM_CELLS = 6
+WORKERS = 2
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_queue.json"
+
+
+def _canonical(batch) -> str:
+    return json.dumps(
+        batch.to_dicts(include_runtime=False), sort_keys=True, separators=(",", ":")
+    )
+
+
+def _run_backend(name: str, sweep, tmp_path):
+    if name == "serial":
+        backend = SerialBackend()
+    elif name == "work_queue":
+        backend = WorkQueueBackend(
+            tmp_path / "queue", workers=WORKERS, timeout_s=300.0
+        )
+    else:
+        backend = BrokerBackend(workers=WORKERS, timeout_s=300.0)
+    start = time.perf_counter()
+    batch = BatchRunner(sweep, backend=backend, cache=False).run()
+    wall_s = time.perf_counter() - start
+    return batch, wall_s
+
+
+def test_queue_overhead(benchmark, tmp_path):
+    sweep = seed_sweep(TINY_SPEC, range(NUM_CELLS))
+
+    measurements: dict[str, dict] = {}
+    reference = None
+
+    def measure_all():
+        nonlocal reference
+        for name in ("serial", "work_queue", "broker"):
+            batch, wall_s = _run_backend(name, sweep, tmp_path)
+            if name == "serial":
+                reference = _canonical(batch)
+            record = {
+                "wall_s": round(wall_s, 3),
+                "tasks_per_s": round(NUM_CELLS / wall_s, 2),
+                "bytes_match_serial": _canonical(batch) == reference,
+                "planner": batch.planner.as_dict(),
+            }
+            if batch.queue is not None:
+                record["queue"] = batch.queue.as_dict()
+            measurements[name] = record
+        serial_s = measurements["serial"]["wall_s"]
+        for name, record in measurements.items():
+            record["overhead_s_per_task"] = round(
+                max(record["wall_s"] - serial_s, 0.0) / NUM_CELLS, 3
+            )
+        return measurements
+
+    from conftest import run_once
+
+    run_once(benchmark, measure_all)
+    benchmark.extra_info["queue_overhead"] = measurements
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "num_cells": NUM_CELLS,
+                "workers": WORKERS,
+                "cell": TINY_SPEC.label,
+                "backends": measurements,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    report = ExperimentReport(
+        "Queue overhead (harness figure)",
+        f"{NUM_CELLS} tiny cells, {WORKERS} workers per distributed backend",
+    )
+    for name, record in measurements.items():
+        report.add_comparison(
+            f"{name} submit→collect",
+            "bit-identical to serial",
+            f"{record['tasks_per_s']:.2f} tasks/s "
+            f"(+{record['overhead_s_per_task'] * 1e3:.0f} ms/task overhead)",
+        )
+    report.emit()
+
+    for name, record in measurements.items():
+        assert record["bytes_match_serial"], name
+        # Sanity floor, not a performance bar: even on a loaded CI box the
+        # queue layer must not add whole seconds per tiny task.
+        assert record["overhead_s_per_task"] < 5.0, (name, record)

@@ -14,8 +14,11 @@ The package is organised as the paper's system is:
   specification dataclasses, a named scenario registry, the
   :class:`Experiment` runner, and a multi-seed :class:`BatchRunner`
   that plans sweeps (dedup, cache resolution, cost ordering) and
-  executes them on pluggable backends (serial, process pool, or a
-  shared-directory work queue remote hosts can drain).
+  executes them on pluggable backends (serial, process pool, a
+  shared-directory work queue remote hosts can drain, or an HTTP
+  broker so the fleet needs only a URL in common) — with lease-based
+  claims and per-task retries, so a worker killed mid-task costs one
+  lease interval, not the sweep.
 * :mod:`repro.analysis` — metrics and reporting used by the benchmark
   harness that regenerates every figure of the paper's evaluation.
 
@@ -73,6 +76,7 @@ from repro.experiment import (
     BackendError,
     BatchResult,
     BatchRunner,
+    BrokerBackend,
     CacheStats,
     ControllerSpec,
     CycleResult,
@@ -107,7 +111,7 @@ from repro.experiment import (
     spec_digest,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "phy",
@@ -121,6 +125,7 @@ __all__ = [
     "BackendError",
     "BatchResult",
     "BatchRunner",
+    "BrokerBackend",
     "CacheStats",
     "ControllerSpec",
     "CycleResult",

@@ -14,10 +14,16 @@ This package is the canonical public entry point to the reproduction:
   multi-scenario sweep whose results are bit-identical no matter which
   backend executes them;
 * :mod:`repro.experiment.backends` — the pluggable execution layer
-  (:class:`SerialBackend`, :class:`ProcessPoolBackend`, and the
+  (:class:`SerialBackend`, :class:`ProcessPoolBackend`, the
   shared-directory :class:`WorkQueueBackend` remote workers drain via
-  ``python -m repro.experiment.worker``), selectable per-runner or
-  globally with ``REPRO_BATCH_BACKEND``;
+  ``python -m repro.experiment.worker``, and the HTTP
+  :class:`BrokerBackend` whose workers need only a URL in common with
+  the submitter), selectable per-runner or globally with
+  ``REPRO_BATCH_BACKEND``.  Queue claims are heartbeat leases with a
+  per-task retry budget, so a worker killed mid-task costs one lease
+  interval, not the sweep;
+* :mod:`repro.experiment.broker` — the stdlib HTTP broker behind
+  :class:`BrokerBackend` (``python -m repro.experiment.broker``);
 * :mod:`repro.experiment.planner` — :class:`SweepPlanner`, which
   deduplicates identical specs, resolves cache hits before dispatch,
   and orders the remaining cells by estimated cost (slowest first);
@@ -30,11 +36,15 @@ This package is the canonical public entry point to the reproduction:
 
 from repro.experiment.backends import (
     BackendError,
+    BrokerBackend,
+    BrokerClient,
     ExecutionBackend,
     ProcessPoolBackend,
+    QueueStats,
     SerialBackend,
     WorkQueueBackend,
     backend_names,
+    register_backend,
     resolve_backend,
     run_spec_payload,
 )
@@ -82,11 +92,15 @@ from repro.experiment.specs import (
 
 __all__ = [
     "BackendError",
+    "BrokerBackend",
+    "BrokerClient",
     "ExecutionBackend",
+    "QueueStats",
     "SerialBackend",
     "ProcessPoolBackend",
     "WorkQueueBackend",
     "backend_names",
+    "register_backend",
     "resolve_backend",
     "run_spec_payload",
     "BatchResult",

@@ -1,0 +1,111 @@
+"""Pluggable execution backends for batch sweeps.
+
+The :class:`repro.experiment.batch.BatchRunner` does not run specs
+itself: it plans the sweep (see :mod:`repro.experiment.planner`) and
+hands the cells that actually need simulating to an
+:class:`ExecutionBackend`.  Every backend speaks the same dict-in /
+dict-out protocol as :func:`run_spec_payload` — a spec's canonical dict
+goes in, the result's canonical dict comes out — so swapping backends
+can never change results: by the determinism guarantees of the engine
+(CRC32-derived RNG spawn keys), the payload a backend returns is
+byte-identical no matter where the simulation ran.
+
+Four backends ship with the library:
+
+* :class:`SerialBackend` — run every cell inline in the calling
+  process.  The reference implementation the others are tested against.
+* :class:`ProcessPoolBackend` — fan out across local worker processes
+  with :class:`concurrent.futures.ProcessPoolExecutor`.
+* :class:`WorkQueueBackend` — a shared-directory work queue.  The
+  submitting process writes one JSON task file per cell; *any* process
+  that can see the directory — locally spawned drainers, or remote
+  workers started with ``python -m repro.experiment.worker <dir>`` on
+  hosts sharing the filesystem — claims tasks by atomic rename, runs
+  them, and writes result files back.
+* :class:`BrokerBackend` — the same task/claim/result protocol spoken
+  over HTTP to a :mod:`repro.experiment.broker`, dropping the
+  shared-filesystem requirement entirely: submitter and workers need
+  only a URL in common.
+
+The queue-shaped backends are **self-healing**: a claim is a lease
+(``REPRO_QUEUE_LEASE_S``) that the worker heartbeats while it computes;
+a claim whose lease expires — a ``kill -9``'d worker — is requeued with
+a per-task retry budget (``REPRO_QUEUE_MAX_ATTEMPTS``) before the queue
+gives up and synthesizes an error envelope naming the task, and locally
+spawned drainers are topped up from the observed queue depth, so a dead
+worker costs one lease interval, never the sweep.
+
+:func:`resolve_backend` maps the ``backend`` argument of
+:class:`BatchRunner` (a name, an instance, or ``None``) to an instance;
+exporting ``REPRO_BATCH_BACKEND=serial|process|work_queue|broker``
+selects the default backend for every ``BatchRunner`` that did not pass
+one explicitly, which is how the CI backend matrix drives the whole
+experiment test package through each backend in turn.
+"""
+
+from repro.experiment.backends.base import (
+    BACKEND_ENV_VAR,
+    BackendError,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+    run_spec_payload,
+)
+from repro.experiment.backends.queue_common import (
+    BROKER_URL_ENV_VAR,
+    DEFAULT_LEASE_S,
+    DEFAULT_MAX_ATTEMPTS,
+    LEASE_ENV_VAR,
+    MAX_ATTEMPTS_ENV_VAR,
+    QueueStats,
+    default_lease_s,
+    default_max_attempts,
+    task_envelope,
+)
+from repro.experiment.backends.work_queue import (
+    CLAIMED_DIR,
+    RESULTS_DIR,
+    TASKS_DIR,
+    WorkQueueBackend,
+    _atomic_write_json,
+    ensure_queue_dirs,
+    requeue_expired_claims,
+)
+from repro.experiment.backends.broker_client import (
+    BrokerBackend,
+    BrokerClient,
+    BrokerUnavailable,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BROKER_URL_ENV_VAR",
+    "BackendError",
+    "BrokerBackend",
+    "BrokerClient",
+    "BrokerUnavailable",
+    "CLAIMED_DIR",
+    "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_ATTEMPTS",
+    "ExecutionBackend",
+    "LEASE_ENV_VAR",
+    "MAX_ATTEMPTS_ENV_VAR",
+    "ProcessPoolBackend",
+    "QueueStats",
+    "RESULTS_DIR",
+    "SerialBackend",
+    "TASKS_DIR",
+    "WorkQueueBackend",
+    "backend_names",
+    "default_lease_s",
+    "default_max_attempts",
+    "ensure_queue_dirs",
+    "register_backend",
+    "requeue_expired_claims",
+    "resolve_backend",
+    "run_spec_payload",
+    "task_envelope",
+]

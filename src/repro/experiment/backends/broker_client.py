@@ -1,0 +1,358 @@
+"""HTTP client half of the broker protocol: ``BrokerBackend``.
+
+:class:`BrokerClient` is a tiny ``urllib``-based JSON client for the
+endpoints of :mod:`repro.experiment.broker`; it is shared by the
+submitting :class:`BrokerBackend` here and by broker-mode workers
+(``python -m repro.experiment.worker --broker <url>``).
+
+:class:`BrokerBackend` is the network-transparent sibling of
+:class:`~repro.experiment.backends.work_queue.WorkQueueBackend`: same
+task/claim/result envelopes, same leases and retry budgets (the broker
+enforces them server-side), same auto-scaled local drainers — but the
+only thing submitter and workers share is a URL.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+import time
+import urllib.error
+import urllib.request
+import uuid
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any, Mapping, Sequence
+
+from repro.experiment.backends.base import (
+    BackendError,
+    ExecutionBackend,
+    register_backend,
+)
+from repro.experiment.backends.queue_common import (
+    BROKER_URL_ENV_VAR,
+    DrainerPool,
+    QueueStats,
+    default_lease_s,
+    default_max_attempts,
+    task_envelope,
+)
+
+__all__ = ["BrokerBackend", "BrokerClient", "BrokerUnavailable"]
+
+
+class BrokerUnavailable(ConnectionError):
+    """The broker did not answer (connection refused, timeout, 5xx)."""
+
+
+class BrokerClient:
+    """JSON-over-HTTP client for one broker URL (stdlib only)."""
+
+    def __init__(self, url: str, timeout_s: float = 10.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, path: str, payload: Mapping[str, Any] | None) -> dict:
+        if payload is None:
+            request = urllib.request.Request(self.url + path)
+        else:
+            request = urllib.request.Request(
+                self.url + path,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = exc.read().decode("utf-8", "replace")[:500]
+            except OSError:
+                pass
+            raise BrokerUnavailable(
+                f"broker {self.url} answered {exc.code} on {path}: {detail}"
+            ) from exc
+        except (urllib.error.URLError, socket.timeout, ConnectionError) as exc:
+            raise BrokerUnavailable(
+                f"broker {self.url} unreachable on {path}: {exc}"
+            ) from exc
+
+    # One method per endpoint; see the broker module docstring.
+    def submit(self, tasks: Sequence[Mapping[str, Any]]) -> int:
+        return int(self._request("/submit", {"tasks": list(tasks)})["accepted"])
+
+    def claim(self, match: str = "", worker: str = "") -> dict[str, Any] | None:
+        return self._request("/claim", {"match": match, "worker": worker})["task"]
+
+    def heartbeat(self, task_id: str) -> bool:
+        return bool(self._request("/heartbeat", {"id": task_id})["ok"])
+
+    def result(self, outcome: Mapping[str, Any]) -> bool:
+        return bool(self._request("/result", dict(outcome))["ok"])
+
+    def collect(
+        self,
+        ids: Sequence[str] | None = None,
+        match: str | None = None,
+        ack: Sequence[str] = (),
+    ) -> dict[str, Any]:
+        payload: dict[str, Any] = {"ack": list(ack)}
+        if match is not None:
+            payload["match"] = match
+        else:
+            payload["ids"] = list(ids or [])
+        return self._request("/collect", payload)
+
+    def cancel(self, ids: Sequence[str]) -> int:
+        return int(self._request("/cancel", {"ids": list(ids)})["cancelled"])
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("/stats", None)
+
+
+class BrokerBackend(ExecutionBackend):
+    """Execute a sweep through an HTTP broker instead of a shared dir.
+
+    Args:
+        url: the broker.  ``None`` honors ``REPRO_BROKER_URL``; with
+            neither set, a private in-process broker is started for the
+            duration of each :meth:`run` (local fan-out with zero
+            deployment — and what ``REPRO_BATCH_BACKEND=broker`` gives
+            CI).
+        workers: cap on concurrently live local drainer processes
+            (``python -m repro.experiment.worker --broker <url>``).
+            ``0`` spawns none and relies on an external fleet already
+            polling the broker — which then requires an explicit or
+            environment-provided ``url``, since a private broker nobody
+            else can discover would hang until timeout.
+        cache_dir: optional shared :class:`ResultCache` directory the
+            spawned workers write computed results back to.
+        poll_interval_s: how often the submitter polls ``/collect``.
+        timeout_s: give up (``BackendError``) when results stop arriving
+            for this long with nothing claimed and nothing recoverable.
+        lease_s / max_attempts: per-task lease and retry budget embedded
+            in this submission's envelopes; default to
+            ``REPRO_QUEUE_LEASE_S`` / ``REPRO_QUEUE_MAX_ATTEMPTS``.
+
+    After :meth:`run`, :attr:`last_run_stats` holds the submission's
+    :class:`~repro.experiment.backends.queue_common.QueueStats`.
+    """
+
+    name = "broker"
+
+    def __init__(
+        self,
+        url: str | None = None,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike[str] | None = None,
+        poll_interval_s: float = 0.05,
+        timeout_s: float = 600.0,
+        lease_s: float | None = None,
+        max_attempts: int | None = None,
+    ) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if lease_s is not None and lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if workers == 0 and url is None and not os.environ.get(BROKER_URL_ENV_VAR):
+            raise ValueError(
+                "workers=0 (external drain) requires a broker url the "
+                "external workers can reach; a private per-run broker "
+                "would hang until timeout"
+            )
+        self.url = url
+        self.workers = workers
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
+        self.poll_interval_s = poll_interval_s
+        self.timeout_s = timeout_s
+        self.lease_s = lease_s if lease_s is not None else default_lease_s()
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else default_max_attempts()
+        )
+        self.last_run_stats: QueueStats | None = None
+
+    def workers_for(self, num_tasks: int) -> int:
+        """Local drainer cap (external-drain mode reports 1 — the
+        submitter cannot know how big the remote fleet is)."""
+        if num_tasks <= 0 or self.workers == 0:
+            return 1
+        if self.workers is not None:
+            return min(self.workers, max(num_tasks, 1))
+        return min(num_tasks, os.cpu_count() or 1)
+
+    # ------------------------------------------------------------- internals
+    def _worker_command(self, url: str, match: str) -> list[str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.experiment.worker",
+            "--broker",
+            url,
+            "--exit-when-empty",
+            "--poll-interval-s",
+            str(self.poll_interval_s),
+            "--match",
+            match,
+        ]
+        if self.cache_dir is not None:
+            command += ["--cache-dir", str(self.cache_dir)]
+        return command
+
+    def run(self, payloads: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        self.last_run_stats = None  # never leak a previous run's account
+        if not payloads:
+            return []
+        url = self.url or os.environ.get(BROKER_URL_ENV_VAR)
+        if url:
+            return self._run_against(url, payloads)
+        # Private per-run broker: serve this submission and disappear.
+        from repro.experiment.broker import start_broker
+
+        server = start_broker(
+            lease_s=self.lease_s, max_attempts=self.max_attempts
+        )
+        try:
+            return self._run_against(server.url, payloads)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def _run_against(
+        self, url: str, payloads: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        client = BrokerClient(url)
+        job = uuid.uuid4().hex[:12]
+        task_ids = [f"{job}-{index:05d}" for index in range(len(payloads))]
+        try:
+            client.submit(
+                [
+                    task_envelope(
+                        task_id,
+                        payload,
+                        lease_s=self.lease_s,
+                        max_attempts=self.max_attempts,
+                    )
+                    for task_id, payload in zip(task_ids, payloads)
+                ]
+            )
+        except BrokerUnavailable as exc:
+            raise BackendError(f"could not submit to the broker: {exc}") from exc
+        with TemporaryDirectory(prefix="repro-broker-logs-") as log_dir:
+            pool = DrainerPool(
+                command=self._worker_command(url, f"{job}-"),
+                log_dir=Path(log_dir),
+                log_prefix=f"worker-{job}",
+                cap=self.workers_for(len(payloads)) if self.workers != 0 else 0,
+            )
+            self.last_run_stats = pool.stats
+            try:
+                return self._collect(client, task_ids, pool, f"{job}-")
+            finally:
+                pool.terminate()
+                # Withdraw leftovers: an external fleet must not burn
+                # compute on a sweep nobody is waiting for, and the
+                # in-memory broker must not accumulate dead submissions.
+                try:
+                    client.cancel(task_ids)
+                except BrokerUnavailable:
+                    pass
+
+    def _collect(
+        self,
+        client: BrokerClient,
+        task_ids: list[str],
+        pool: DrainerPool,
+        match: str,
+    ) -> list[dict[str, Any]]:
+        pending = set(task_ids)
+        collected: dict[str, dict[str, Any]] = {}
+        last_progress = time.monotonic()
+        spawned_at_progress = 0
+        broker_failures = 0
+        # Ack-based handover: each tick acknowledges the results safely
+        # received last tick (the broker then drops them) and addresses
+        # the submission by its id prefix — per-tick traffic scales with
+        # newly finished cells, not with the size of the sweep.
+        ack: list[str] = []
+        while pending:
+            try:
+                response = client.collect(match=match, ack=ack)
+            except BrokerUnavailable as exc:
+                # Transient network blips heal (nothing is lost: unacked
+                # results are simply re-sent); a dead broker cannot —
+                # its state died with it, so resubmitting is the
+                # caller's move, not ours.
+                broker_failures += 1
+                if broker_failures >= 5:
+                    raise BackendError(
+                        f"lost the broker with {len(pending)} task(s) "
+                        f"unfinished: {exc}"
+                    ) from exc
+                time.sleep(self.poll_interval_s * 4)
+                continue
+            broker_failures = 0
+            ack = [str(envelope.get("id")) for envelope in response["results"]]
+            progressed = False
+            for envelope in response["results"]:
+                task_id = str(envelope.get("id"))
+                if task_id not in pending:
+                    continue  # re-sent while its ack was in flight
+                if envelope.get("error") is not None:
+                    raise BackendError(
+                        f"broker task {task_id} failed in a worker:\n"
+                        f"{envelope['error']}"
+                    )
+                pool.stats.requeued += int(envelope.get("attempts", 0) or 0)
+                collected[task_id] = envelope["result"]
+                pending.discard(task_id)
+                progressed = True
+            if progressed:
+                last_progress = time.monotonic()
+                spawned_at_progress = pool.stats.spawned
+                continue
+            # Auto-scaling from the broker's own backlog count: requeued
+            # tasks (their worker died; the broker already swept the
+            # expired lease) become visible here and get a fresh drainer.
+            if pool.cap > 0:
+                pool.top_up(int(response.get("pending", 0)))
+                if pool.stats.spawned - spawned_at_progress > max(6, 3 * pool.cap):
+                    raise BackendError(
+                        f"local broker workers keep exiting without progress "
+                        f"({pool.stats.spawned} spawned, {len(pending)} "
+                        f"task(s) unfinished)\n{pool.failing_log_tail()}"
+                    )
+            if pool.any_alive():
+                time.sleep(self.poll_interval_s)
+                continue
+            if time.monotonic() - last_progress > self.timeout_s:
+                # A claim still counted by the broker is *live* — the
+                # broker sweeps expired leases on every request, so a
+                # dead worker's claim would already have been requeued
+                # (progress) or exhausted (error envelope).  A live
+                # worker computing a big cell gets the same patience
+                # local drainers do; only tasks sitting unclaimed with
+                # nobody to run them can time out.
+                if int(response.get("claimed", 0)) > 0:
+                    time.sleep(self.poll_interval_s)
+                    continue
+                raise BackendError(
+                    f"timed out after {self.timeout_s:.0f}s waiting for "
+                    f"{len(pending)} unclaimed broker task(s) at "
+                    f"{client.url}\n{pool.failing_log_tail()}"
+                )
+            time.sleep(self.poll_interval_s)
+        return [collected[task_id] for task_id in task_ids]
+
+
+register_backend(
+    BrokerBackend.name, lambda max_workers: BrokerBackend(workers=max_workers)
+)

@@ -1,0 +1,266 @@
+"""Shared machinery of the queue-shaped backends.
+
+The file-based :class:`~repro.experiment.backends.work_queue.WorkQueueBackend`
+and the HTTP :class:`~repro.experiment.backends.broker_client.BrokerBackend`
+speak the same task/claim/result envelope protocol and manage local
+drainer subprocesses the same way; this module holds the shared parts:
+
+* the **lease/retry knobs** (``REPRO_QUEUE_LEASE_S``,
+  ``REPRO_QUEUE_MAX_ATTEMPTS``) and the task envelope constructor that
+  embeds them, so submitter, workers and broker all agree on how long a
+  claim may go silent and how many times a task may lose its worker
+  before it is declared dead;
+* :class:`QueueStats`, the per-submission account of what self-healing
+  actually did (drainers spawned, leases expired, retry budgets
+  exhausted), surfaced on ``BatchResult.queue``;
+* :class:`DrainerPool`, the submitter-side auto-scaler: instead of
+  spawning a fixed worker count up front, the collect loop tops the
+  pool up from the *observed* queue depth every tick — a drainer that
+  died (or exited on an empty queue before a lease-expired task was
+  requeued) is replaced the moment there is visible work again.  Each
+  drainer writes its own log file, so a failure embeds the tail of the
+  log of the worker that actually failed instead of an interleaved
+  mess.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "BROKER_URL_ENV_VAR",
+    "DEFAULT_LEASE_S",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DrainerPool",
+    "LEASE_ENV_VAR",
+    "MAX_ATTEMPTS_ENV_VAR",
+    "QueueStats",
+    "default_lease_s",
+    "default_max_attempts",
+    "exhausted_error",
+    "task_envelope",
+    "worker_subprocess_env",
+]
+
+#: Seconds a claim may go without a heartbeat before any observer may
+#: requeue it.  Workers heartbeat at a quarter of the lease, so a live
+#: worker never comes close; a SIGKILL'd one is requeued within one
+#: lease interval.
+LEASE_ENV_VAR = "REPRO_QUEUE_LEASE_S"
+DEFAULT_LEASE_S = 30.0
+
+#: Total executions a task may consume (first run + retries) before the
+#: queue gives up and synthesizes an error envelope naming the task.
+MAX_ATTEMPTS_ENV_VAR = "REPRO_QUEUE_MAX_ATTEMPTS"
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default broker URL for ``BrokerBackend()`` / ``REPRO_BATCH_BACKEND=broker``.
+BROKER_URL_ENV_VAR = "REPRO_BROKER_URL"
+
+
+def default_lease_s() -> float:
+    """The environment's claim lease, or :data:`DEFAULT_LEASE_S`."""
+    raw = os.environ.get(LEASE_ENV_VAR, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_LEASE_S
+    return value if raw and value > 0 else DEFAULT_LEASE_S
+
+
+def default_max_attempts() -> int:
+    """The environment's retry budget, or :data:`DEFAULT_MAX_ATTEMPTS`."""
+    raw = os.environ.get(MAX_ATTEMPTS_ENV_VAR, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_MAX_ATTEMPTS
+    return value if raw and value >= 1 else DEFAULT_MAX_ATTEMPTS
+
+
+def task_envelope(
+    task_id: str,
+    spec: Mapping[str, Any],
+    lease_s: float | None = None,
+    max_attempts: int | None = None,
+) -> dict[str, Any]:
+    """The task half of the queue protocol, shared by every transport.
+
+    ``attempts`` counts claims so far (bumped by whoever requeues an
+    expired claim); ``lease_s``/``max_attempts`` ride inside the
+    envelope so workers and requeuers — possibly on other hosts, with
+    other environments — enforce the *submitter's* policy, not their
+    own defaults.
+    """
+    return {
+        "id": task_id,
+        "spec": dict(spec),
+        "attempts": 0,
+        "lease_s": float(lease_s if lease_s is not None else default_lease_s()),
+        "max_attempts": int(
+            max_attempts if max_attempts is not None else default_max_attempts()
+        ),
+    }
+
+
+def exhausted_error(task_id: str, attempts: int, max_attempts: int) -> str:
+    """The error text of a synthesized give-up envelope.
+
+    Contractual content: the task id and the attempt count, so the
+    eventual :class:`~repro.experiment.backends.base.BackendError` names
+    the one task that kept losing its worker instead of a blanket
+    timeout that discards every finished cell.
+    """
+    return (
+        f"task {task_id} lost its worker {attempts} time(s) and exhausted "
+        f"its retry budget (max_attempts={max_attempts}); the claim lease "
+        f"expired without a result each time"
+    )
+
+
+@dataclass
+class QueueStats:
+    """What the self-healing layer did during one submission."""
+
+    #: Local drainer subprocesses spawned over the whole run (top-ups
+    #: after worker deaths included — this can exceed the worker cap).
+    spawned: int = 0
+    #: Expired claims put back on the queue (worker deaths survived).
+    requeued: int = 0
+    #: Tasks that burned their whole retry budget and were synthesized
+    #: into error envelopes.
+    exhausted: int = 0
+    #: Largest unclaimed backlog the collect loop observed.
+    max_depth: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "spawned": self.spawned,
+            "requeued": self.requeued,
+            "exhausted": self.exhausted,
+            "max_depth": self.max_depth,
+        }
+
+
+def worker_subprocess_env() -> dict[str, str]:
+    """Environment for spawned drainers.
+
+    Workers must be able to import repro even when the submitter runs
+    from a source checkout that was put on ``sys.path`` by hand (tests,
+    conftest) rather than installed.
+    """
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[3])
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + existing if existing else ""
+        )
+    return env
+
+
+@dataclass
+class DrainerPool:
+    """Submitter-side drainer subprocesses, topped up from queue depth.
+
+    Args:
+        command: the drainer argv (``python -m repro.experiment.worker
+            ...``); every spawn runs the same command.
+        log_dir: where per-drainer logs go.
+        log_prefix: log files are ``{log_prefix}-{n:02d}.log`` — one per
+            drainer, so a traceback is never interleaved with another
+            process's output.
+        cap: most drainers alive at once (0 = external-drain mode, the
+            pool never spawns).
+    """
+
+    command: Sequence[str]
+    log_dir: Path
+    log_prefix: str
+    cap: int
+    stats: QueueStats = field(default_factory=QueueStats)
+    _drainers: list[tuple[subprocess.Popen, Path]] = field(default_factory=list)
+    _env: dict[str, str] = field(default_factory=worker_subprocess_env)
+
+    def _spawn(self) -> None:
+        log_path = self.log_dir / f"{self.log_prefix}-{self.stats.spawned:02d}.log"
+        log = open(log_path, "ab")
+        try:
+            proc = subprocess.Popen(
+                list(self.command),
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=self._env,
+            )
+        finally:
+            log.close()
+        self._drainers.append((proc, log_path))
+        self.stats.spawned += 1
+
+    def top_up(self, depth: int) -> None:
+        """Spawn drainers until ``min(cap, depth)`` are alive.
+
+        ``depth`` is the *observed* unclaimed backlog — the pool never
+        spawns more workers than there are visible tasks, and a worker
+        that died mid-sweep is replaced the next time a task (its own,
+        requeued after lease expiry) becomes visible again.
+        """
+        self.stats.max_depth = max(self.stats.max_depth, depth)
+        want = min(self.cap, depth)
+        for _ in range(want - self.alive_count()):
+            self._spawn()
+
+    def alive_count(self) -> int:
+        return sum(1 for proc, _ in self._drainers if proc.poll() is None)
+
+    def any_alive(self) -> bool:
+        return any(proc.poll() is None for proc, _ in self._drainers)
+
+    def failed_exits(self) -> list[tuple[subprocess.Popen, Path]]:
+        """Drainers that exited with a nonzero status (crash or kill),
+        oldest first."""
+        return [
+            (proc, log_path)
+            for proc, log_path in self._drainers
+            if proc.poll() not in (None, 0)
+        ]
+
+    def failing_log_tail(self, limit: int = 2000) -> str:
+        """Tail of the log of the most recently failed drainer (or, when
+        none failed, of the last drainer at all) — the satellite fix for
+        the old interleaved shared log: the traceback shown is the
+        *failing* worker's own."""
+        failed = self.failed_exits()
+        candidates = failed if failed else self._drainers
+        for proc, log_path in reversed(candidates):
+            try:
+                text = log_path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            if text.strip():
+                return (
+                    f"[drainer exit status {proc.poll()}, log {log_path.name}]\n"
+                    + text[-limit:]
+                )
+        return ""
+
+    def terminate(self) -> None:
+        for proc, _ in self._drainers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc, _ in self._drainers:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+    def remove_logs(self) -> None:
+        for _, log_path in self._drainers:
+            try:
+                log_path.unlink()
+            except OSError:
+                pass

@@ -11,8 +11,13 @@ stages:
    before, by the static cost estimate otherwise;
 2. a pluggable :class:`repro.experiment.backends.ExecutionBackend`
    executes those cells — inline (:class:`SerialBackend`), across local
-   processes (:class:`ProcessPoolBackend`), or through a shared
-   directory any worker host can drain (:class:`WorkQueueBackend`);
+   processes (:class:`ProcessPoolBackend`), through a shared directory
+   any worker host can drain (:class:`WorkQueueBackend`), or through an
+   HTTP broker so submitter and workers need only a URL in common
+   (:class:`BrokerBackend`).  The queue-shaped backends are
+   self-healing: claims are heartbeat leases with a per-task retry
+   budget, so a worker killed mid-task costs one lease interval, not
+   the sweep;
 3. results are scattered back to submission order and written back to
    the cache (once per unique spec).
 
@@ -43,7 +48,7 @@ from repro.experiment.runner import ExperimentResult
 from repro.experiment.specs import ExperimentSpec
 
 if TYPE_CHECKING:
-    from repro.experiment.backends import ExecutionBackend
+    from repro.experiment.backends import ExecutionBackend, QueueStats
     from repro.experiment.cache import ResultCache
 
 #: Backward-compatible alias: the dict-in/dict-out worker protocol lived
@@ -79,7 +84,10 @@ class BatchResult:
     with a duplicate cell (both stay 0 when no cache was in play).
     ``backend`` names the execution backend that ran the misses, and
     ``planner`` carries the full :class:`PlannerStats` of the submission
-    (dedup, cache resolution, estimated cost).
+    (dedup, cache resolution, estimated cost).  ``queue`` carries the
+    :class:`~repro.experiment.backends.QueueStats` of queue-shaped
+    backends — drainers spawned, leases requeued after worker deaths,
+    retry budgets exhausted — and stays ``None`` for in-process ones.
     """
 
     results: list[ExperimentResult]
@@ -89,6 +97,7 @@ class BatchResult:
     cache_misses: int = 0
     backend: str = "serial"
     planner: PlannerStats = field(default_factory=PlannerStats)
+    queue: "QueueStats | None" = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -123,6 +132,11 @@ class BatchResult:
             mode += f", {self.cache_hits}/{len(self.results)} from cache"
         if self.planner.duplicates:
             mode += f", {self.planner.duplicates} deduplicated"
+        if self.queue is not None and self.queue.requeued:
+            # Worker deaths the lease machinery survived belong in the
+            # record: the results are byte-identical either way, but the
+            # wall clock is not.
+            mode += f", {self.queue.requeued} requeued after worker loss"
         report = ExperimentReport(
             title, f"{len(self.results)} experiment(s), {mode}"
         )
@@ -150,8 +164,9 @@ class BatchRunner:
             ``False`` to force caching off; the default ``None`` uses
             the default cache iff ``REPRO_CACHE_DIR`` is set.
         backend: an :class:`ExecutionBackend` instance, a backend name
-            (``"serial"``, ``"process"``, ``"work_queue"``), or ``None``
-            to resolve from ``parallel``/``REPRO_BATCH_BACKEND`` (see
+            (``"serial"``, ``"process"``, ``"work_queue"``,
+            ``"broker"``), or ``None`` to resolve from
+            ``parallel``/``REPRO_BATCH_BACKEND`` (see
             :func:`repro.experiment.backends.resolve_backend`).
     """
 
@@ -221,4 +236,8 @@ class BatchRunner:
             cache_misses=plan.stats.cache_misses if cached else 0,
             backend=backend.name,
             planner=plan.stats,
+            # Only when this run actually dispatched: a fully-cached
+            # sweep never calls backend.run(), and a reused backend
+            # instance would otherwise leak the *previous* run's stats.
+            queue=getattr(backend, "last_run_stats", None) if plan.jobs else None,
         )

@@ -1,0 +1,523 @@
+"""HTTP task broker: ``python -m repro.experiment.broker``.
+
+The network-transparent half of the queue layer.  The file-based
+:class:`~repro.experiment.backends.work_queue.WorkQueueBackend` couples
+submitter and workers through a shared filesystem; this broker speaks
+the *same* task/claim/result envelope protocol over HTTP, so submitter
+and workers need only a URL in common:
+
+.. code-block:: console
+
+    # anywhere the fleet can reach:
+    $ python -m repro.experiment.broker --host 0.0.0.0 --port 8123
+
+    # on each worker host:
+    $ python -m repro.experiment.worker --broker http://broker:8123
+
+    # on the submitting host:
+    >>> BatchRunner(sweep, backend=BrokerBackend("http://broker:8123",
+    ...                                          workers=0)).run()
+
+Everything is stdlib: :class:`http.server.ThreadingHTTPServer` on the
+outside, the in-memory :class:`BrokerQueue` (one lock, plain dicts) on
+the inside.  Claims are **leases** here too — the broker stamps a
+deadline on every claim, workers extend it by heartbeating, and every
+request first sweeps expired leases: an expired claim with retry budget
+left goes back on the queue with its ``attempts`` bumped, one without
+becomes a synthesized error envelope naming the task and attempt count.
+A ``kill -9``'d worker therefore costs one lease interval, never the
+sweep.
+
+State is in-memory by design: the broker serializes a fleet's claims
+and carries seconds-lived task envelopes, it is not a durable store —
+results worth keeping land in the submitter's :class:`ResultCache`.  If
+the broker dies, submitters time out and resubmit to a fresh one.
+
+JSON endpoints (bodies and responses are ``application/json``)::
+
+    POST /submit     {"tasks": [<task envelope>, ...]}
+    POST /claim      {"match": "<id prefix>", "worker": "<name>"}
+                       -> {"task": <envelope> | null}
+    POST /heartbeat  {"id": ...}            -> {"ok": true|false}
+    POST /result     <outcome envelope>     -> {"ok": true}
+    POST /collect    {"ids": [...] | "match": prefix, "ack": [...]}
+                                            -> {"results": [...],
+                                                "pending": n, "claimed": n}
+    POST /cancel     {"ids": [...]}         -> {"cancelled": n}
+    GET  /stats      -> {"pending": n, "claimed": n, "results": n, ...}
+
+The task envelope is
+:func:`repro.experiment.backends.queue_common.task_envelope`; outcome
+envelopes are ``{"id", "result"}`` or ``{"id", "error"}``, with
+``attempts`` annotated by the broker so submitters can account for
+worker deaths they never saw.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.experiment.backends.queue_common import (
+    default_lease_s,
+    default_max_attempts,
+    exhausted_error,
+)
+
+__all__ = ["BrokerQueue", "BrokerServer", "main", "start_broker"]
+
+
+class BrokerQueue:
+    """The broker's in-memory task state; every method is thread-safe.
+
+    Args:
+        lease_s: fallback lease for task envelopes that carry none.
+        max_attempts: fallback retry budget, likewise.
+        ttl_s: idle time after which a task or result is garbage — a
+            submitter killed before its ``cancel`` leaves its submission
+            behind, and without a horizon a long-lived shared broker
+            would grow forever (and external workers would burn compute
+            on sweeps nobody is waiting for).  Live submissions never
+            come close: submitters poll every tick and workers heartbeat
+            every quarter lease.  The default matches the file queue's
+            deliberately paranoid one-week orphan horizon.
+        time_fn: monotonic clock, injectable so lease-expiry tests need
+            no real sleeping.
+    """
+
+    #: Default ``ttl_s`` — the file queue's ``_STALE_RESULT_S`` horizon.
+    DEFAULT_TTL_S = 7 * 24 * 3600.0
+
+    def __init__(
+        self,
+        lease_s: float | None = None,
+        max_attempts: int | None = None,
+        ttl_s: float | None = None,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._lease_s = lease_s if lease_s is not None else default_lease_s()
+        self._max_attempts = (
+            max_attempts if max_attempts is not None else default_max_attempts()
+        )
+        self._ttl_s = ttl_s if ttl_s is not None else self.DEFAULT_TTL_S
+        self._now = time_fn
+        self._lock = threading.Lock()
+        #: sorted pending task ids (claim order = id order, which is
+        #: submission order: ids embed the submitter's planned index).
+        #: Sorted rather than a heap so a match-scoped claim can bisect
+        #: straight to its own prefix instead of rescanning every other
+        #: submission's backlog on a shared broker.  May hold stale ids
+        #: (cancelled/completed); claims drop them lazily.
+        self._order: list[str] = []
+        self._tasks: dict[str, dict[str, Any]] = {}  # pending envelopes
+        #: id -> (envelope, lease deadline, worker name)
+        self._claimed: dict[str, tuple[dict[str, Any], float, str]] = {}
+        self._results: dict[str, dict[str, Any]] = {}
+        #: id -> last time anyone (submitter or worker) touched it.
+        self._touched: dict[str, float] = {}
+
+    # ------------------------------------------------------------ internals
+    def _lease_of(self, envelope: Mapping[str, Any]) -> float:
+        return float(envelope.get("lease_s") or self._lease_s)
+
+    def _budget_of(self, envelope: Mapping[str, Any]) -> int:
+        return int(envelope.get("max_attempts") or self._max_attempts)
+
+    def _expire(self, now: float) -> None:
+        """Requeue expired claims and GC abandoned ids (lock held)."""
+        expired = [
+            task_id
+            for task_id, (_, deadline, _) in self._claimed.items()
+            if deadline < now
+        ]
+        for task_id in expired:
+            envelope, _, _ = self._claimed.pop(task_id)
+            self._touched[task_id] = now
+            attempts = int(envelope.get("attempts", 0)) + 1
+            envelope["attempts"] = attempts
+            budget = self._budget_of(envelope)
+            if attempts >= budget:
+                self._results[task_id] = {
+                    "id": task_id,
+                    "error": exhausted_error(task_id, attempts, budget),
+                    "attempts": attempts,
+                }
+            else:
+                self._tasks[task_id] = envelope
+                bisect.insort(self._order, task_id)
+        # Abandoned-submission GC: a submitter that died without its
+        # cancel stops collecting, so nothing refreshes its ids — once
+        # idle past the TTL they are garbage (stale ids left in the
+        # sorted order are dropped lazily on claim, and compacted in
+        # bulk here so a dead submission no worker matches cannot pin
+        # memory forever).
+        horizon = now - self._ttl_s
+        stale = [t for t, at in self._touched.items() if at < horizon]
+        for task_id in stale:
+            self._tasks.pop(task_id, None)
+            self._claimed.pop(task_id, None)
+            self._results.pop(task_id, None)
+            del self._touched[task_id]
+        if stale:
+            self._order = [t for t in self._order if t in self._tasks]
+
+    # ------------------------------------------------------------- protocol
+    def submit(self, tasks: list[Mapping[str, Any]]) -> int:
+        now = self._now()
+        with self._lock:
+            for envelope in tasks:
+                task_id = str(envelope["id"])
+                self._touched[task_id] = now
+                if task_id in self._tasks:
+                    continue  # resubmission of a pending task is a no-op
+                self._tasks[task_id] = dict(envelope)
+                bisect.insort(self._order, task_id)
+            return len(tasks)
+
+    def claim(self, match: str = "", worker: str = "") -> dict[str, Any] | None:
+        """Pop the first pending task matching ``match`` and lease it.
+
+        Ids sharing a prefix are contiguous in the sorted order, so the
+        scan bisects straight to the prefix and stops the moment it
+        leaves it — a drainer polling for its own submission never pays
+        for other submissions' backlogs.
+        """
+        now = self._now()
+        with self._lock:
+            self._expire(now)
+            index = bisect.bisect_left(self._order, match) if match else 0
+            while index < len(self._order):
+                task_id = self._order[index]
+                if match and not task_id.startswith(match):
+                    break  # sorted: past the prefix range, nothing matches
+                envelope = self._tasks.get(task_id)
+                if envelope is None:
+                    self._order.pop(index)  # cancelled/completed: drop lazily
+                    continue
+                self._order.pop(index)
+                del self._tasks[task_id]
+                self._claimed[task_id] = (
+                    envelope,
+                    now + self._lease_of(envelope),
+                    worker,
+                )
+                self._touched[task_id] = now
+                return dict(envelope)
+            return None
+
+    def heartbeat(self, task_id: str) -> bool:
+        """Extend a live claim's lease; False if the claim is gone."""
+        now = self._now()
+        with self._lock:
+            self._expire(now)
+            entry = self._claimed.get(task_id)
+            if entry is None:
+                return False
+            envelope, _, worker = entry
+            self._claimed[task_id] = (
+                envelope,
+                now + self._lease_of(envelope),
+                worker,
+            )
+            self._touched[task_id] = now
+            return True
+
+    def result(self, outcome: Mapping[str, Any]) -> bool:
+        """Accept an outcome envelope; False if the task is unknown.
+
+        A result is accepted from a worker whose lease already expired —
+        its task may have been requeued (or re-claimed by someone else),
+        but by the engine's determinism a late result is byte-identical
+        to the eventual one, so it completes the task immediately and
+        the duplicate execution is cancelled where possible.  Outcomes
+        for ids the broker has never seen (a cancelled submission) are
+        refused so they cannot accumulate forever.
+        """
+        task_id = str(outcome.get("id", ""))
+        now = self._now()
+        with self._lock:
+            known = (
+                task_id in self._tasks
+                or task_id in self._claimed
+                or task_id in self._results
+            )
+            if not known:
+                return False
+            self._touched[task_id] = now
+            entry = self._claimed.pop(task_id, None)
+            pending = self._tasks.pop(task_id, None)
+            envelope = entry[0] if entry else pending
+            stored = dict(outcome)
+            if envelope is not None:
+                stored.setdefault("attempts", int(envelope.get("attempts", 0)))
+            self._results[task_id] = stored
+            return True
+
+    def collect(
+        self,
+        ids: list[str] | None = None,
+        match: str | None = None,
+        ack: list[str] | None = None,
+    ) -> dict[str, Any]:
+        """Hand over finished results, plus the live pending/claimed
+        counts the submitter's auto-scaler and liveness logic need —
+        one round trip per poll tick.
+
+        Address the submission either by explicit ``ids`` or by a
+        ``match`` prefix; prefix collection keeps each poll tick's
+        request O(newly finished), not O(submission size) — a
+        10 000-cell sweep must not ship its whole id list 20 times a
+        second.
+
+        Handover is **ack-based, never speculative**: results stay in
+        the tables (and are re-sent) until a later request lists them in
+        ``ack``, which the submitter only does after safely receiving
+        the previous response.  A response lost on the wire therefore
+        loses nothing — the exact failure class the lease machinery
+        exists to kill.  The final :meth:`cancel` purges whatever was
+        never acked, so nothing accumulates past a submission's
+        lifetime (and the TTL GC covers submitters that died before
+        even that)."""
+        now = self._now()
+        with self._lock:
+            self._expire(now)
+            for task_id in ack or ():
+                self._results.pop(task_id, None)
+                self._touched.pop(task_id, None)
+            if match is not None:
+                # The asker is a live submitter: its whole submission
+                # stays fresh for the abandoned-submission GC.
+                for task_id in self._touched:
+                    if task_id.startswith(match):
+                        self._touched[task_id] = now
+                results = [
+                    dict(envelope)
+                    for task_id, envelope in self._results.items()
+                    if task_id.startswith(match)
+                ]
+                pending = sum(1 for t in self._tasks if t.startswith(match))
+                claimed = sum(1 for t in self._claimed if t.startswith(match))
+            else:
+                wanted = list(ids or [])
+                for task_id in wanted:
+                    if task_id in self._touched:
+                        self._touched[task_id] = now
+                results = [
+                    dict(self._results[task_id])
+                    for task_id in wanted
+                    if task_id in self._results
+                ]
+                wanted_set = set(wanted)
+                pending = sum(1 for t in self._tasks if t in wanted_set)
+                claimed = sum(1 for t in self._claimed if t in wanted_set)
+            return {
+                "results": results,
+                "pending": pending,
+                "claimed": claimed,
+            }
+
+    def cancel(self, ids: list[str]) -> int:
+        """Withdraw a submission: nobody is waiting for these tasks."""
+        with self._lock:
+            cancelled = 0
+            dropped_pending = False
+            for task_id in ids:
+                was_pending = self._tasks.pop(task_id, None) is not None
+                dropped_pending |= was_pending
+                cancelled += was_pending
+                cancelled += self._claimed.pop(task_id, None) is not None
+                self._results.pop(task_id, None)
+                self._touched.pop(task_id, None)
+            if dropped_pending:
+                self._order = [t for t in self._order if t in self._tasks]
+            return cancelled
+
+    def stats(self) -> dict[str, Any]:
+        now = self._now()
+        with self._lock:
+            self._expire(now)
+            return {
+                "pending": len(self._tasks),
+                "claimed": len(self._claimed),
+                "results": len(self._results),
+                "lease_s": self._lease_s,
+                "max_attempts": self._max_attempts,
+            }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON shim over :class:`BrokerQueue`; no state of its own."""
+
+    queue: BrokerQueue  # set by BrokerServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # a fleet heartbeating every lease/4 would drown stderr
+
+    def _reply(self, status: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        return json.loads(raw.decode("utf-8"))
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/stats":
+            self._reply(200, self.queue.stats())
+        else:
+            self._reply(404, {"error": f"unknown endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            body = self._body()
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(400, {"error": f"bad JSON body: {exc}"})
+            return
+        route = self.path.split("?", 1)[0]
+        try:
+            if route == "/submit":
+                self._reply(
+                    200, {"accepted": self.queue.submit(body.get("tasks", []))}
+                )
+            elif route == "/claim":
+                task = self.queue.claim(
+                    match=str(body.get("match", "")),
+                    worker=str(body.get("worker", "")),
+                )
+                self._reply(200, {"task": task})
+            elif route == "/heartbeat":
+                self._reply(200, {"ok": self.queue.heartbeat(str(body.get("id")))})
+            elif route == "/result":
+                self._reply(200, {"ok": self.queue.result(body)})
+            elif route == "/collect":
+                self._reply(
+                    200,
+                    self.queue.collect(
+                        ids=body.get("ids"),
+                        match=body.get("match"),
+                        ack=list(body.get("ack", [])),
+                    ),
+                )
+            elif route == "/cancel":
+                self._reply(
+                    200, {"cancelled": self.queue.cancel(list(body.get("ids", [])))}
+                )
+            else:
+                self._reply(404, {"error": f"unknown endpoint {route!r}"})
+        except Exception as exc:  # a broken request must not kill the broker
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class BrokerServer(ThreadingHTTPServer):
+    """One listening socket bound to one :class:`BrokerQueue`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], queue: BrokerQueue) -> None:
+        handler = type("BoundHandler", (_Handler,), {"queue": queue})
+        super().__init__(address, handler)
+        self.queue = queue
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        display = "127.0.0.1" if host in ("0.0.0.0", "::") else host
+        return f"http://{display}:{port}"
+
+
+def start_broker(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    lease_s: float | None = None,
+    max_attempts: int | None = None,
+    ttl_s: float | None = None,
+) -> BrokerServer:
+    """Start a broker on a background thread; returns the live server.
+
+    ``port=0`` picks a free port — read the result's ``.url``.  Shut it
+    down with ``server.shutdown(); server.server_close()``.  This is
+    what :class:`~repro.experiment.backends.broker_client.BrokerBackend`
+    uses for its private per-run broker, and what tests use to get a
+    real HTTP broker without a subprocess.
+    """
+    server = BrokerServer(
+        (host, port),
+        BrokerQueue(lease_s=lease_s, max_attempts=max_attempts, ttl_s=ttl_s),
+    )
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-broker",
+        daemon=True,
+    )
+    thread.start()
+    return server
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiment.broker",
+        description="Serve the repro task/claim/result protocol over HTTP "
+        "(see repro.experiment.backends.BrokerBackend).",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (0.0.0.0 to accept a remote fleet; the protocol "
+        "is unauthenticated, so bind to trusted networks only)",
+    )
+    parser.add_argument("--port", type=int, default=8123, help="bind port")
+    parser.add_argument(
+        "--lease-s",
+        type=float,
+        default=None,
+        help="fallback claim lease for tasks that carry none "
+        "(default: REPRO_QUEUE_LEASE_S or 30)",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        help="fallback per-task retry budget "
+        "(default: REPRO_QUEUE_MAX_ATTEMPTS or 3)",
+    )
+    parser.add_argument(
+        "--ttl-s",
+        type=float,
+        default=None,
+        help="drop tasks/results of submissions idle this long — "
+        "abandoned-submitter garbage collection (default: one week)",
+    )
+    args = parser.parse_args(argv)
+    server = BrokerServer(
+        (args.host, args.port),
+        BrokerQueue(
+            lease_s=args.lease_s,
+            max_attempts=args.max_attempts,
+            ttl_s=args.ttl_s,
+        ),
+    )
+    print(f"repro broker listening on {server.url}", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

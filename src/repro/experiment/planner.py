@@ -156,6 +156,10 @@ class PlannerStats:
     #: Jobs ordered by a measured wall clock from the cache's cost
     #: ledger rather than the static heuristic.
     measured_jobs: int = 0
+    #: Sum of those jobs' *measured* seconds — with ``measured_jobs``,
+    #: the honest part of a sweep's predicted wall clock (queue-overhead
+    #: benchmarks record both next to their task-rate numbers).
+    measured_cost_s: float = 0.0
 
     @property
     def duplicates(self) -> int:
@@ -191,6 +195,7 @@ class PlannerStats:
             "dedup_rate": self.dedup_rate,
             "est_cost_s": self.est_cost_s,
             "measured_jobs": self.measured_jobs,
+            "measured_cost_s": self.measured_cost_s,
         }
 
 
@@ -304,4 +309,5 @@ class SweepPlanner:
         stats.executed = len(jobs)
         stats.est_cost_s = sum(job.est_cost_s for job in jobs)
         stats.measured_jobs = sum(1 for job in jobs if job.measured)
+        stats.measured_cost_s = sum(job.cost_s for job in jobs if job.measured)
         return SweepPlan(jobs=jobs, results=results, stats=stats)

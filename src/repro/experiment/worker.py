@@ -1,33 +1,59 @@
-"""Work-queue drainer: ``python -m repro.experiment.worker <queue_dir>``.
+"""Queue drainer: ``python -m repro.experiment.worker``.
 
-The executable half of :class:`repro.experiment.backends.WorkQueueBackend`.
-A worker watches ``<queue_dir>/tasks/`` for task files (``{"id": ...,
-"spec": <canonical spec dict>}``), claims one by atomically renaming it
-into ``claimed/`` — the rename is the lock; exactly one claimant wins —
-runs :func:`repro.experiment.backends.run_spec_payload` on the spec, and
-writes ``{"id": ..., "result": <result dict>}`` (or ``{"id": ...,
-"error": <traceback>}``) into ``results/``.
+The executable half of the queue-shaped backends.  A worker claims task
+envelopes (``{"id": ..., "spec": <canonical spec dict>, "attempts": ...,
+"lease_s": ..., "max_attempts": ...}``), runs
+:func:`repro.experiment.backends.run_spec_payload` on the spec, and
+reports ``{"id": ..., "result": <result dict>}`` (or ``{"id": ...,
+"error": <traceback>}``) back — over either transport:
 
-Any number of workers on any hosts sharing the directory can drain the
-same queue; determinism is the engine's, not the scheduler's — a spec's
-result payload is byte-identical no matter which worker ran it.  With
-``--cache-dir`` every computed result is also written into a shared
-content-addressed :class:`repro.experiment.cache.ResultCache`
-(concurrent-writer-safe), so a fleet of workers warms one store as a
-side effect of draining the queue — including the store's measured-cost
-ledger (each writeback records the cell's simulation wall clock), which
-future submissions' sweep planners use to dispatch slowest-first by
-observed cost rather than heuristic.
+* ``python -m repro.experiment.worker <queue_dir>`` drains a
+  shared-directory :class:`~repro.experiment.backends.WorkQueueBackend`
+  queue (claim = atomic rename into ``claimed/``; exactly one claimant
+  wins);
+* ``python -m repro.experiment.worker --broker http://host:port`` drains
+  a :mod:`repro.experiment.broker` over HTTP — no shared filesystem at
+  all.
 
-Typical remote session::
+Claims are **leases**: while a task computes, a background thread
+heartbeats it (touching the claimed file's mtime, or POSTing
+``/heartbeat``) every quarter lease, so only a *dead* worker ever goes
+silent.  Idle file-queue workers also requeue other workers' expired
+claims (:func:`repro.experiment.backends.requeue_expired_claims`),
+which is what makes a long-lived fleet self-healing with no submitter
+involvement; over HTTP the broker sweeps leases itself.
 
-    # on each worker host (shared filesystem or synced directory):
-    python -m repro.experiment.worker /mnt/sweeps/queue \\
-        --cache-dir /mnt/sweeps/cache
+Any number of workers on any hosts can drain the same queue;
+determinism is the engine's, not the scheduler's — a spec's result
+payload is byte-identical no matter which worker ran it, which is also
+why a task that was requeued *and* finished by its slow original owner
+resolves to the same bytes either way.  With ``--cache-dir`` every
+computed result is also written into a shared content-addressed
+:class:`repro.experiment.cache.ResultCache` (concurrent-writer-safe),
+so a fleet of workers warms one store as a side effect of draining the
+queue — including the store's measured-cost ledger, which future
+submissions' sweep planners use to dispatch slowest-first by observed
+cost rather than heuristic.
+
+Typical remote session (no shared filesystem)::
+
+    # anywhere the fleet can reach:
+    python -m repro.experiment.broker --host 0.0.0.0 --port 8123
+
+    # on each worker host:
+    python -m repro.experiment.worker --broker http://broker:8123 \\
+        --cache-dir /var/cache/repro
 
     # on the submitting host:
-    BatchRunner(specs, backend=WorkQueueBackend("/mnt/sweeps/queue",
-                                                workers=0)).run()
+    BatchRunner(specs, backend=BrokerBackend("http://broker:8123",
+                                             workers=0)).run()
+
+Chaos hooks (used by the recovery test suite, harmless otherwise):
+``REPRO_WORKER_KILL_FILE`` names a flag file — the first worker to claim
+a task while the flag exists unlinks it and ``SIGKILL``s itself, one
+death per flag; ``REPRO_WORKER_KILL_MATCH`` is a substring — every
+worker that claims a task whose id contains it dies, which is how the
+retry budget's exhaustion path is exercised end to end.
 """
 
 from __future__ import annotations
@@ -35,6 +61,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
+import socket
+import threading
 import time
 import traceback
 from pathlib import Path
@@ -45,14 +74,27 @@ from repro.experiment.backends import (
     RESULTS_DIR,
     TASKS_DIR,
     _atomic_write_json,
+    default_lease_s,
     ensure_queue_dirs,
+    requeue_expired_claims,
     run_spec_payload,
 )
 
 if TYPE_CHECKING:
     from repro.experiment.cache import ResultCache
 
-__all__ = ["claim_next_task", "drain_queue", "main"]
+__all__ = [
+    "BrokerQueueClient",
+    "FileQueueClient",
+    "claim_next_task",
+    "drain",
+    "drain_queue",
+    "main",
+]
+
+#: Chaos hooks, read once per claim (see the module docstring).
+KILL_FILE_ENV_VAR = "REPRO_WORKER_KILL_FILE"
+KILL_MATCH_ENV_VAR = "REPRO_WORKER_KILL_MATCH"
 
 
 def claim_next_task(root: Path, match: str = "") -> Path | None:
@@ -61,9 +103,12 @@ def claim_next_task(root: Path, match: str = "") -> Path | None:
     Claiming renames the task file into ``claimed/``; the rename either
     succeeds (this worker owns the task) or raises because another
     worker got there first, in which case the next candidate is tried.
-    ``match`` restricts claims to task files whose name starts with that
-    prefix — how a submitter's own short-lived drainers stay off other
-    submitters' tasks in a shared directory.
+    The file's mtime is refreshed around the rename — the claimed file's
+    mtime is the lease clock, and without the touch a task that waited
+    in ``tasks/`` longer than its lease would look expired the moment it
+    was claimed.  ``match`` restricts claims to task files whose name
+    starts with that prefix — how a submitter's own short-lived drainers
+    stay off other submitters' tasks in a shared directory.
     """
     tasks_dir = root / TASKS_DIR
     try:
@@ -77,23 +122,172 @@ def claim_next_task(root: Path, match: str = "") -> Path | None:
     for candidate in candidates:
         claimed = root / CLAIMED_DIR / candidate.name
         try:
+            os.utime(candidate)  # start the lease before the rename lands
+        except FileNotFoundError:
+            continue  # lost the race before even trying
+        except OSError:
+            # Cross-user shares can forbid utime on another user's file
+            # (rename needs only directory write) — claiming must still
+            # work there; the lease clock just starts best-effort.
+            pass
+        try:
             os.replace(candidate, claimed)
         except OSError:
             continue  # lost the race; try the next task
+        try:
+            os.utime(claimed)
+        except OSError:
+            pass
         return claimed
     return None
 
 
-def _execute(claimed: Path, root: Path, cache: "ResultCache | None") -> bool:
+class FileQueueClient:
+    """Shared-directory transport: claim by rename, heartbeat by mtime."""
+
+    def __init__(self, queue_dir: str | os.PathLike[str], match: str = "") -> None:
+        self.root = ensure_queue_dirs(queue_dir)
+        self.match = match
+
+    def claim(self) -> tuple[dict[str, Any], Path] | None:
+        claimed = claim_next_task(self.root, self.match)
+        if claimed is None:
+            return None
+        # A torn read right after a rename is a transient of exotic
+        # filesystems (task files are written atomically, so the bytes
+        # are whole) — the same condition _scan_results and
+        # requeue_expired_claims shrug off.  Retry briefly, then hand
+        # the claim back rather than fabricating a fatal error envelope
+        # for a task that is perfectly runnable next tick.
+        for attempt in range(3):
+            try:
+                with open(claimed, encoding="utf-8") as fh:
+                    envelope = json.load(fh)
+                return envelope, claimed
+            except (OSError, ValueError):
+                time.sleep(0.05 * (attempt + 1))
+        try:
+            os.replace(claimed, self.root / TASKS_DIR / claimed.name)
+        except OSError:
+            pass  # requeued or completed under us; either way not ours
+        return None
+
+    def heartbeat(self, token: Path) -> None:
+        try:
+            os.utime(token)
+        except OSError:
+            pass  # requeued under us; the duplicate run is byte-identical
+
+    def complete(self, token: Path, outcome: dict[str, Any]) -> None:
+        _atomic_write_json(
+            self.root / RESULTS_DIR / f"{outcome['id']}.json", outcome
+        )
+        try:
+            token.unlink()
+        except OSError:
+            pass
+
+    def recover(self) -> int:
+        """Requeue expired claims (scoped to ``match``); the idle-time
+        half of fleet self-healing."""
+        requeued, exhausted = requeue_expired_claims(self.root, self.match)
+        return requeued + exhausted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileQueueClient({str(self.root)!r}, match={self.match!r})"
+
+
+class BrokerQueueClient:
+    """HTTP transport: the broker holds the queue and sweeps the leases."""
+
+    def __init__(self, url: str, match: str = "") -> None:
+        from repro.experiment.backends import BrokerClient
+
+        self.client = BrokerClient(url)
+        self.match = match
+        self.worker_id = f"{socket.gethostname()}-{os.getpid()}"
+
+    def claim(self) -> tuple[dict[str, Any], str] | None:
+        envelope = self.client.claim(match=self.match, worker=self.worker_id)
+        if envelope is None:
+            return None
+        return envelope, str(envelope["id"])
+
+    def heartbeat(self, token: str) -> None:
+        from repro.experiment.backends import BrokerUnavailable
+
+        try:
+            self.client.heartbeat(token)
+        except BrokerUnavailable:
+            pass  # the next beat (or the result POST) will retry
+
+    def complete(self, token: str, outcome: dict[str, Any]) -> None:
+        self.client.result(outcome)
+
+    def recover(self) -> int:
+        return 0  # server-side: every broker request sweeps expired leases
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BrokerQueueClient({self.client.url!r}, match={self.match!r})"
+
+
+class _Heartbeat:
+    """Background lease refresher for one claimed task."""
+
+    def __init__(self, beat, interval_s: float) -> None:
+        self._beat = beat
+        self._interval_s = max(interval_s, 0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                self._beat()
+            except Exception:  # pragma: no cover - heartbeat is best-effort
+                pass
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _chaos_kill(task_id: str) -> None:
+    """Die on command: the recovery tests' stand-in for real worker loss.
+
+    SIGKILL (not an exception) on purpose — the whole point is a worker
+    that never gets to write an error envelope, exactly like a crashed
+    host or an OOM kill.
+    """
+    flag = os.environ.get(KILL_FILE_ENV_VAR)
+    if flag:
+        try:
+            os.unlink(flag)  # atomic: exactly one worker wins the flag
+        except OSError:
+            pass
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    match = os.environ.get(KILL_MATCH_ENV_VAR)
+    if match and match in task_id:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _execute(
+    client: Any, envelope: dict[str, Any], token: Any, cache: "ResultCache | None"
+) -> bool:
     """Run one claimed task; returns True when the shared cache is dirty
     (a payload was written with its index flush deferred to the caller)."""
     cache_dirty = False
+    lease_s = float(envelope.get("lease_s") or default_lease_s())
     try:
-        with open(claimed, encoding="utf-8") as fh:
-            envelope = json.load(fh)
         task_id = str(envelope["id"])
         spec_payload: dict[str, Any] = envelope["spec"]
-        result = run_spec_payload(spec_payload)
+        with _Heartbeat(lambda: client.heartbeat(token), lease_s / 4.0):
+            result = run_spec_payload(spec_payload)
         if cache is not None:
             # Shared-store writeback: content-addressed and atomic, so
             # any number of workers can target one cache directory.  A
@@ -116,43 +310,61 @@ def _execute(claimed: Path, root: Path, cache: "ResultCache | None") -> bool:
         outcome: dict[str, Any] = {"id": task_id, "result": result}
     except Exception:
         # Report the failure to the submitter instead of dying silently —
-        # a lost task would hang the submitting BatchRunner until timeout.
-        task_id = claimed.stem
+        # a lost task would cost a whole lease + retry before erroring.
+        task_id = str(envelope.get("id", "unknown"))
         outcome = {"id": task_id, "error": traceback.format_exc()}
-    _atomic_write_json(root / RESULTS_DIR / f"{task_id}.json", outcome)
-    try:
-        claimed.unlink()
-    except OSError:
-        pass
+    # Attempts ride along so the submitter can account for every worker
+    # death this task survived, whoever did the requeuing.
+    outcome["attempts"] = int(envelope.get("attempts", 0) or 0)
+    # The result just cost a whole simulation — a transient broker blip
+    # on the report must not crash the worker and throw it away.  Retry
+    # across roughly a lease (heartbeats have stopped, so a re-claim
+    # starts after lease_s anyway); past that the queue's retry budget
+    # re-runs the task and this copy is surplus.
+    for remaining in range(9, -1, -1):
+        try:
+            client.complete(token, outcome)
+            break
+        except ConnectionError:
+            if not remaining:
+                print(
+                    f"warning: could not report result for {task_id}; "
+                    "dropping it (the queue's retry budget re-runs the task)",
+                    flush=True,
+                )
+                break
+            time.sleep(lease_s / 8.0)
     return cache_dirty
 
 
-def drain_queue(
-    queue_dir: str | os.PathLike[str],
+def drain(
+    client: Any,
     max_tasks: int | None = None,
     idle_timeout_s: float | None = None,
     poll_interval_s: float = 0.05,
     exit_when_empty: bool = False,
     cache: "ResultCache | None" = None,
-    match: str = "",
 ) -> int:
-    """Drain tasks from ``queue_dir``; returns how many were executed.
+    """Drain tasks from a queue client; returns how many were executed.
 
     Runs until ``max_tasks`` tasks were executed, the queue has stayed
     empty for ``idle_timeout_s``, or — with ``exit_when_empty`` — the
-    first moment no pending task is found.  With no stop condition it
-    drains forever (the long-lived remote-worker mode).  ``match``
-    restricts claims to task names with that prefix (see
-    :func:`claim_next_task`).
+    first moment no pending task is found and no expired claim could be
+    recovered.  With no stop condition it drains forever (the long-lived
+    remote-worker mode).
 
     Shared-cache writebacks are batched: payload files land atomically
     per task, but the O(entries) index flush is deferred to idle moments
     and to exit, so a busy worker never pays an index rewrite per cell.
     """
-    root = ensure_queue_dirs(queue_dir)
     executed = 0
     cache_dirty = False
     idle_since = time.monotonic()
+    # Idle-time lease sweeps are throttled like the submitter's: a fleet
+    # polling a busy NFS queue at 20 Hz must not scandir-and-parse every
+    # claimed envelope on every empty tick.
+    recover_every = max(poll_interval_s, default_lease_s() / 8.0)
+    next_recover = 0.0
 
     def flush_cache() -> None:
         nonlocal cache_dirty
@@ -168,8 +380,24 @@ def drain_queue(
 
     try:
         while max_tasks is None or executed < max_tasks:
-            claimed = claim_next_task(root, match)
-            if claimed is None:
+            outage = False
+            try:
+                task = client.claim()
+            except ConnectionError:
+                # A long-lived fleet worker outlives broker restarts:
+                # an unreachable broker is an empty queue with backoff,
+                # not a crash (short-lived --exit-when-empty drainers
+                # still exit below, and their submitter takes it from
+                # there).
+                task = None
+                outage = True
+            if task is None:
+                # Self-healing before giving up: an expired claim
+                # (somebody's dead worker) is pending work too.
+                if not outage and time.monotonic() >= next_recover:
+                    next_recover = time.monotonic() + recover_every
+                    if client.recover():
+                        continue
                 flush_cache()
                 if exit_when_empty:
                     break
@@ -178,9 +406,13 @@ def drain_queue(
                     and time.monotonic() - idle_since > idle_timeout_s
                 ):
                     break
-                time.sleep(poll_interval_s)
+                time.sleep(
+                    max(poll_interval_s, 0.5) if outage else poll_interval_s
+                )
                 continue
-            cache_dirty = _execute(claimed, root, cache) or cache_dirty
+            envelope, token = task
+            _chaos_kill(str(envelope.get("id", "")))
+            cache_dirty = _execute(client, envelope, token, cache) or cache_dirty
             executed += 1
             idle_since = time.monotonic()
     finally:
@@ -188,13 +420,45 @@ def drain_queue(
     return executed
 
 
+def drain_queue(
+    queue_dir: str | os.PathLike[str],
+    max_tasks: int | None = None,
+    idle_timeout_s: float | None = None,
+    poll_interval_s: float = 0.05,
+    exit_when_empty: bool = False,
+    cache: "ResultCache | None" = None,
+    match: str = "",
+) -> int:
+    """Drain a shared-directory queue (see :func:`drain`)."""
+    return drain(
+        FileQueueClient(queue_dir, match=match),
+        max_tasks=max_tasks,
+        idle_timeout_s=idle_timeout_s,
+        poll_interval_s=poll_interval_s,
+        exit_when_empty=exit_when_empty,
+        cache=cache,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiment.worker",
-        description="Drain a repro work-queue directory "
-        "(see repro.experiment.backends.WorkQueueBackend).",
+        description="Drain a repro work queue — a shared directory "
+        "(repro.experiment.backends.WorkQueueBackend) or an HTTP broker "
+        "(repro.experiment.broker).",
     )
-    parser.add_argument("queue_dir", help="the shared queue directory")
+    parser.add_argument(
+        "queue_dir",
+        nargs="?",
+        default=None,
+        help="the shared queue directory (omit when using --broker)",
+    )
+    parser.add_argument(
+        "--broker",
+        default=None,
+        metavar="URL",
+        help="drain this HTTP broker instead of a shared directory",
+    )
     parser.add_argument(
         "--max-tasks", type=int, default=None, help="exit after this many tasks"
     )
@@ -220,25 +484,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--match",
         default="",
-        help="only claim task files whose name starts with this prefix "
+        help="only claim task ids starting with this prefix "
         "(used by submitters' own drainers to leave other submissions alone)",
     )
     args = parser.parse_args(argv)
+    if (args.queue_dir is None) == (args.broker is None):
+        parser.error("exactly one of queue_dir or --broker is required")
     cache = None
     if args.cache_dir:
         from repro.experiment.cache import ResultCache
 
         cache = ResultCache(args.cache_dir)
-    executed = drain_queue(
-        args.queue_dir,
+    if args.broker:
+        client: Any = BrokerQueueClient(args.broker, match=args.match)
+        source = args.broker
+    else:
+        client = FileQueueClient(args.queue_dir, match=args.match)
+        source = args.queue_dir
+    executed = drain(
+        client,
         max_tasks=args.max_tasks,
         idle_timeout_s=args.idle_timeout_s,
         poll_interval_s=args.poll_interval_s,
         exit_when_empty=args.exit_when_empty,
         cache=cache,
-        match=args.match,
     )
-    print(f"drained {executed} task(s) from {args.queue_dir}")
+    print(f"drained {executed} task(s) from {source}")
     return 0
 
 

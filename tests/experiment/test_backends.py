@@ -16,14 +16,10 @@ import pytest
 from repro.experiment import (
     BackendError,
     BatchRunner,
-    ControllerSpec,
+    BrokerBackend,
     ExecutionBackend,
-    ExperimentSpec,
-    FlowSpec,
-    ProbingSpec,
     ProcessPoolBackend,
     ResultCache,
-    ScenarioSpec,
     SerialBackend,
     WorkQueueBackend,
     backend_names,
@@ -34,22 +30,7 @@ from repro.experiment import (
 from repro.experiment.backends import BACKEND_ENV_VAR, TASKS_DIR, ensure_queue_dirs
 from repro.experiment.worker import claim_next_task, drain_queue
 
-# Cheap noRC chain cell: no probing warmup, one second of traffic.
-FAST_SPEC = ExperimentSpec(
-    scenario=ScenarioSpec(
-        scenario="chain", seed=1, flows=(FlowSpec("udp", (0, 1, 2)),)
-    ),
-    controller=ControllerSpec(enabled=False),
-    cycles=1,
-    cycle_measure_s=1.0,
-    settle_s=0.2,
-    label="backend-smoke",
-)
-
-
-def canonical(payloads: list[dict]) -> str:
-    """Byte-comparable form of a result payload list."""
-    return json.dumps(payloads, sort_keys=True, separators=(",", ":"))
+from _helpers import FAST_SPEC, canonical, strip_runtime as _strip_runtime
 
 
 class RecordingBackend(SerialBackend):
@@ -65,7 +46,7 @@ class RecordingBackend(SerialBackend):
 
 class TestResolution:
     def test_names(self):
-        assert backend_names() == ["process", "serial", "work_queue"]
+        assert backend_names() == ["broker", "process", "serial", "work_queue"]
 
     def test_instance_passthrough(self):
         backend = SerialBackend()
@@ -79,6 +60,9 @@ class TestResolution:
         queue = resolve_backend("work_queue", max_workers=2)
         assert isinstance(queue, WorkQueueBackend)
         assert queue.workers == 2
+        broker = resolve_backend("broker", max_workers=2)
+        assert isinstance(broker, BrokerBackend)
+        assert broker.workers == 2
 
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError, match="unknown backend"):
@@ -104,9 +88,15 @@ class TestResolution:
         # External drain: parallelism is the remote fleet's, unknown here.
         assert WorkQueueBackend(tmp_path, workers=0).workers_for(8) == 1
 
-    def test_external_drain_requires_a_visible_queue(self):
+    def test_external_drain_requires_a_visible_queue(self, monkeypatch):
         with pytest.raises(ValueError, match="external drain"):
             WorkQueueBackend(workers=0)
+        monkeypatch.delenv("REPRO_BROKER_URL", raising=False)
+        with pytest.raises(ValueError, match="external drain"):
+            BrokerBackend(workers=0)
+        # With a discoverable broker URL, external drain is legitimate.
+        monkeypatch.setenv("REPRO_BROKER_URL", "http://example:8123")
+        assert BrokerBackend(workers=0).workers_for(8) == 1
 
     def test_empty_submission_is_a_noop(self):
         assert SerialBackend().run([]) == []
@@ -226,7 +216,9 @@ class TestCrossBackendDeterminism:
         return BatchRunner(sweep, backend=SerialBackend(), cache=False).run()
 
     @pytest.mark.slow
-    @pytest.mark.parametrize("backend_name", ["serial", "process", "work_queue"])
+    @pytest.mark.parametrize(
+        "backend_name", ["serial", "process", "work_queue", "broker"]
+    )
     def test_cold_and_warm_runs_are_byte_equal(
         self, backend_name, sweep, reference, tmp_path
     ):
@@ -235,6 +227,8 @@ class TestCrossBackendDeterminism:
                 return ProcessPoolBackend(max_workers=2)
             if backend_name == "work_queue":
                 return WorkQueueBackend(tmp_path / "queue", workers=2)
+            if backend_name == "broker":
+                return BrokerBackend(workers=2)
             return SerialBackend()
 
         cache = ResultCache(tmp_path / "cache")
@@ -269,10 +263,6 @@ class TestCrossBackendDeterminism:
     def test_backend_results_scatter_in_submission_order(self, sweep):
         result = BatchRunner(sweep, backend=SerialBackend(), cache=False).run()
         assert [r.spec.scenario.seed for r in result] == [0, 1, 2, 0]
-
-
-def _strip_runtime(payload: dict) -> dict:
-    return {key: value for key, value in payload.items() if key != "runtime"}
 
 
 class TestBatchRunnerIntegration:

@@ -1,0 +1,287 @@
+"""The HTTP broker: lease/retry protocol units (injected clock, no
+sleeping), the HTTP transport round trip, and the BrokerBackend's
+end-to-end integration with BatchRunner.
+
+The chaos half of the story — a worker SIGKILL'd mid-task recovering
+via lease expiry — lives in ``test_recovery.py``; this module pins the
+protocol the recovery rests on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiment import (
+    BackendError,
+    BatchRunner,
+    BrokerBackend,
+    BrokerClient,
+    SerialBackend,
+)
+from repro.experiment.backends import BrokerUnavailable, task_envelope
+from repro.experiment.broker import BrokerQueue, start_broker
+from repro.experiment.worker import BrokerQueueClient, drain
+
+from _helpers import FAST_SPEC
+
+
+def envelopes(*ids: str, lease_s: float = 5.0, max_attempts: int = 3) -> list:
+    return [
+        task_envelope(task_id, {"cell": task_id}, lease_s=lease_s,
+                      max_attempts=max_attempts)
+        for task_id in ids
+    ]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(clock: FakeClock) -> BrokerQueue:
+    return BrokerQueue(lease_s=5.0, max_attempts=3, time_fn=clock)
+
+
+class TestBrokerQueueProtocol:
+    """The in-memory state machine, clock injected — no real time."""
+
+    def test_claim_is_exclusive_and_ordered(self, queue):
+        queue.submit(envelopes("j-00001", "j-00000"))
+        first = queue.claim()
+        assert first is not None and first["id"] == "j-00000"  # id order
+        second = queue.claim()
+        assert second is not None and second["id"] == "j-00001"
+        assert queue.claim() is None  # both leased: nothing to hand out
+
+    def test_claim_respects_match_prefix(self, queue):
+        queue.submit(envelopes("mine-00000", "theirs-00000"))
+        claimed = queue.claim(match="mine-")
+        assert claimed is not None and claimed["id"] == "mine-00000"
+        assert queue.claim(match="mine-") is None
+        # The foreign task is still claimable by its own drainers.
+        other = queue.claim(match="theirs-")
+        assert other is not None and other["id"] == "theirs-00000"
+
+    def test_result_pickup_annotates_and_survives_rereads(self, queue):
+        queue.submit(envelopes("j-00000"))
+        queue.claim()
+        assert queue.result({"id": "j-00000", "result": {"ok": 1}})
+        response = queue.collect(["j-00000"])
+        [envelope] = response["results"]
+        assert envelope["result"] == {"ok": 1}
+        assert envelope["attempts"] == 0  # annotated by the broker
+        # Collection is non-destructive: a submitter whose HTTP response
+        # was lost can simply ask again.  The final cancel purges.
+        assert queue.collect(["j-00000"])["results"] == [envelope]
+        queue.cancel(["j-00000"])
+        assert queue.collect(["j-00000"])["results"] == []
+        assert queue.stats()["results"] == 0
+
+    def test_lease_expiry_requeues_with_attempts_bumped(self, queue, clock):
+        queue.submit(envelopes("j-00000", lease_s=5.0))
+        assert queue.claim() is not None
+        clock.now += 4.0
+        assert queue.claim() is None  # lease still live: not claimable
+        clock.now += 2.0  # past the 5 s lease
+        reclaimed = queue.claim()
+        assert reclaimed is not None and reclaimed["attempts"] == 1
+        assert queue.stats()["claimed"] == 1
+
+    def test_heartbeat_extends_the_lease(self, queue, clock):
+        queue.submit(envelopes("j-00000", lease_s=5.0))
+        queue.claim()
+        for _ in range(4):  # 16 s of heartbeats against a 5 s lease
+            clock.now += 4.0
+            assert queue.heartbeat("j-00000")
+        assert queue.claim() is None  # never expired
+        assert not queue.heartbeat("j-99999")  # unknown claim
+
+    def test_retry_budget_exhaustion_synthesizes_error(self, queue, clock):
+        queue.submit(envelopes("j-00000", lease_s=5.0, max_attempts=2))
+        for _ in range(2):
+            assert queue.claim() is not None
+            clock.now += 6.0
+        # Second expiry burned the budget: no more claims, an error
+        # envelope naming the task and the attempt count instead.
+        assert queue.claim() is None
+        [envelope] = queue.collect(["j-00000"])["results"]
+        assert envelope["error"] is not None
+        assert "j-00000" in envelope["error"]
+        assert "2 time(s)" in envelope["error"]
+        assert envelope["attempts"] == 2
+
+    def test_late_result_from_expired_worker_completes_the_task(
+        self, queue, clock
+    ):
+        """A slow-but-alive worker whose lease expired still finishes the
+        task: determinism makes its result byte-identical to whatever a
+        re-claimant would produce, so the broker takes it."""
+        queue.submit(envelopes("j-00000", lease_s=5.0))
+        queue.claim()
+        clock.now += 6.0  # expired: task requeued on next sweep
+        assert queue.result({"id": "j-00000", "result": {"ok": 1}})
+        assert queue.claim() is None  # requeued copy was cancelled
+        assert queue.collect(["j-00000"])["results"][0]["result"] == {"ok": 1}
+
+    def test_cancel_withdraws_a_submission(self, queue):
+        queue.submit(envelopes("j-00000", "j-00001"))
+        queue.claim()
+        assert queue.cancel(["j-00000", "j-00001"]) == 2
+        assert queue.claim() is None
+        # Outcomes for cancelled (now unknown) ids are refused, so dead
+        # submissions cannot accumulate results forever.
+        assert not queue.result({"id": "j-00000", "result": {}})
+
+    def test_collect_reports_backlog_counts(self, queue):
+        queue.submit(envelopes("j-00000", "j-00001", "j-00002"))
+        queue.claim()
+        response = queue.collect(["j-00000", "j-00001", "j-00002"])
+        assert response == {"results": [], "pending": 2, "claimed": 1}
+
+    def test_prefix_collect_is_ack_based(self, queue):
+        """The submitter's real protocol: address the submission by id
+        prefix, re-receive anything not yet acked (a lost response costs
+        nothing), and have acked results dropped broker-side."""
+        queue.submit(envelopes("job-00000", "job-00001", "other-00000"))
+        queue.claim(match="job-")
+        queue.result({"id": "job-00000", "result": {"ok": 1}})
+        first = queue.collect(match="job-")
+        assert [env["id"] for env in first["results"]] == ["job-00000"]
+        assert first["pending"] == 1  # job-00001; other- is not counted
+        # Unacked: the same result is re-sent (the response may have
+        # been lost on the wire)...
+        assert queue.collect(match="job-")["results"] == first["results"]
+        # ...until the next request acks it, which drops it for good.
+        assert queue.collect(match="job-", ack=["job-00000"])["results"] == []
+        assert queue.stats()["results"] == 0
+
+    def test_abandoned_submission_is_garbage_collected(self, clock):
+        """A submitter killed before its cancel leaves tasks and results
+        behind; once nothing has touched them for ttl_s they are dropped
+        — a long-lived shared broker must not grow forever, and workers
+        must stop being handed a dead submission's tasks."""
+        queue = BrokerQueue(lease_s=5.0, ttl_s=100.0, time_fn=clock)
+        queue.submit(envelopes("dead-00000", "dead-00001"))
+        queue.claim()
+        assert queue.result({"id": "dead-00000", "result": {"ok": 1}})
+        clock.now += 101.0  # nobody collects, heartbeats, or claims
+        stats = queue.stats()
+        assert stats["pending"] == stats["claimed"] == stats["results"] == 0
+        assert queue.claim() is None
+        # A *live* submission is refreshed by its submitter's polling
+        # and never comes close to the horizon.
+        queue.submit(envelopes("live-00000"))
+        for _ in range(3):
+            clock.now += 60.0
+            queue.collect(["live-00000"])  # each poll tick touches it
+        assert queue.stats()["pending"] == 1
+
+
+class TestBrokerHTTP:
+    """The same protocol through a real socket."""
+
+    @pytest.fixture
+    def server(self):
+        server = start_broker(lease_s=30.0)
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_round_trip(self, server):
+        client = BrokerClient(server.url)
+        assert client.submit(envelopes("h-00000")) == 1
+        task = client.claim(match="h-", worker="test")
+        assert task is not None and task["id"] == "h-00000"
+        assert client.heartbeat("h-00000")
+        assert client.result({"id": "h-00000", "result": {"ok": 1}})
+        response = client.collect(["h-00000"])
+        assert response["results"][0]["result"] == {"ok": 1}
+        assert client.cancel(["h-00000"]) == 0  # nothing pending/claimed...
+        stats = client.stats()
+        # ...and the cancel purged the collected result from the tables.
+        assert stats["pending"] == stats["claimed"] == stats["results"] == 0
+
+    def test_unknown_endpoint_is_an_error(self, server):
+        client = BrokerClient(server.url)
+        with pytest.raises(BrokerUnavailable, match="404"):
+            client._request("/quantum", {})
+
+    def test_unreachable_broker_raises(self):
+        client = BrokerClient("http://127.0.0.1:1", timeout_s=0.5)
+        with pytest.raises(BrokerUnavailable, match="unreachable"):
+            client.stats()
+
+    def test_worker_drains_over_http(self, server):
+        """The broker-mode worker loop end to end, in this process."""
+        client = BrokerClient(server.url)
+        payload = FAST_SPEC.to_dict()
+        client.submit(
+            [task_envelope("h-00000", payload), task_envelope("h-00001", payload)]
+        )
+        executed = drain(
+            BrokerQueueClient(server.url, match="h-"), exit_when_empty=True
+        )
+        assert executed == 2
+        response = client.collect(["h-00000", "h-00001"])
+        assert len(response["results"]) == 2
+        assert all(env.get("error") is None for env in response["results"])
+
+
+class TestBrokerBackendIntegration:
+    @pytest.mark.slow
+    def test_private_broker_sweep_matches_serial(self):
+        specs = [FAST_SPEC, FAST_SPEC.with_seed(2)]
+        reference = BatchRunner(specs, backend=SerialBackend(), cache=False).run()
+        batch = BatchRunner(
+            specs, backend=BrokerBackend(workers=2, timeout_s=120.0), cache=False
+        ).run()
+        assert json.dumps(batch.to_dicts(include_runtime=False)) == json.dumps(
+            reference.to_dicts(include_runtime=False)
+        )
+        assert batch.backend == "broker"
+        assert batch.queue is not None and batch.queue.spawned >= 1
+
+    @pytest.mark.slow
+    def test_external_broker_url_with_external_workers(self):
+        """workers=0 against an explicit URL: the fleet is somebody
+        else's — here, one drain() call standing in for a remote host."""
+        import threading
+
+        server = start_broker()
+        try:
+            # A long-lived "remote" worker polling the broker.
+            fleet = threading.Thread(
+                target=drain,
+                args=(BrokerQueueClient(server.url),),
+                kwargs={"idle_timeout_s": 30.0, "poll_interval_s": 0.05},
+                daemon=True,
+            )
+            fleet.start()
+            backend = BrokerBackend(server.url, workers=0, timeout_s=60.0)
+            batch = BatchRunner([FAST_SPEC], backend=backend, cache=False).run()
+            reference = BatchRunner(
+                [FAST_SPEC], backend=SerialBackend(), cache=False
+            ).run()
+            assert json.dumps(
+                batch.to_dicts(include_runtime=False)
+            ) == json.dumps(reference.to_dicts(include_runtime=False))
+            assert backend.last_run_stats.spawned == 0  # nothing local
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_worker_failure_surfaces_with_task_id(self):
+        backend = BrokerBackend(workers=1, timeout_s=60.0)
+        with pytest.raises(BackendError, match="SpecError"):
+            backend.run([{"cycles": -1}])
