@@ -8,7 +8,6 @@ threshold of 0.95 for its testbed's LIR distribution.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis import ExperimentReport, format_table
 from repro.core import expected_errors, threshold_sweep

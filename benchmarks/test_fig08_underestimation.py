@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import ExperimentReport, format_table
-from repro.sim.scenarios import random_multiflow_scenario
 
 from conftest import run_once
 from test_fig07_overestimation import run_validation_scenario

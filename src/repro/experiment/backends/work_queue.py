@@ -130,7 +130,10 @@ def requeue_expired_claims(
     fallback_lease = default_lease_s()
     requeued = exhausted = 0
     try:
-        entries = list(os.scandir(root / CLAIMED_DIR))
+        # Sorted so every sweeper repossesses in one deterministic order —
+        # scandir order is filesystem-dependent, and two concurrent
+        # sweepers walking the same order contend less and account alike.
+        entries = sorted(os.scandir(root / CLAIMED_DIR), key=lambda e: e.name)
     except OSError:
         return 0, 0
     for entry in entries:
@@ -326,7 +329,7 @@ class WorkQueueBackend(ExecutionBackend):
         horizon = time.time() - _STALE_RESULT_S
         for subdir in (RESULTS_DIR, CLAIMED_DIR):
             try:
-                entries = list(os.scandir(root / subdir))
+                entries = sorted(os.scandir(root / subdir), key=lambda e: e.name)
             except OSError:
                 continue
             for entry in entries:

@@ -1,0 +1,42 @@
+"""``repro.lint`` — machine-enforcement of the repo's two core invariants.
+
+Every figure this reproduction produces rests on properties that used to
+be enforced only by convention and after-the-fact golden tests:
+
+* **byte-identical determinism** — the same spec must produce the same
+  ``spec_digest`` and the same result payload across the serial,
+  process-pool, work-queue and broker backends, on any host, under any
+  ``PYTHONHASHSEED``;
+* **crash-safe atomic filesystem protocols** — the result cache and the
+  lease queues exchange whole JSON envelopes via unique-tempname writes
+  plus ``os.replace``, never partial files, and repossession of a dead
+  worker's claim is a rename, never a write-then-unlink.
+
+Both have been violated before (the PR 1 ``hash(name)`` RNG-seeding bug,
+the PR 5 write-then-unlink requeue race), so this package checks them
+*statically*: a stdlib-``ast`` analyzer with stable rule codes
+(``RPL1xx`` determinism, ``RPL2xx`` atomic IO, ``RPL3xx`` schema
+discipline), per-path scoping, ``# repro-lint: disable=RPL###``
+suppressions, text/JSON output, and a nonzero exit code on findings.
+
+Run it exactly like CI does::
+
+    python -m repro.lint src
+
+See ``docs/lint.md`` for the rule catalog and the suppression policy.
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, LintReport, lint_paths
+from repro.lint.rules import all_rules, get_rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+]

@@ -1,0 +1,142 @@
+"""CLI: ``python -m repro.lint [paths...]``.
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage error (argparse).
+CI runs ``python -m repro.lint src --format json`` as a required job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import iter_rule_docs, lint_paths, render_text
+from repro.lint.rules.schema import find_specs_module, write_fingerprint
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based determinism & atomic-IO analyzer enforcing the "
+            "repo's reproducibility invariants (see docs/lint.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    parser.add_argument(
+        "--schema-fingerprint",
+        default=None,
+        metavar="PATH",
+        help="override the recorded spec-schema fingerprint location "
+        "(default: tests/experiment/golden/spec_schema_fingerprint.json)",
+    )
+    parser.add_argument(
+        "--write-schema-fingerprint",
+        action="store_true",
+        help="recompute and record the spec-schema fingerprint (RPL301), "
+        "then exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = LintConfig.default()
+    if args.schema_fingerprint:
+        config = LintConfig(
+            rule_scopes=config.rule_scopes,
+            rule_excludes=config.rule_excludes,
+            blessed_unlink_functions=config.blessed_unlink_functions,
+            schema_fingerprint_path=args.schema_fingerprint,
+        )
+
+    if args.rules:
+        for code, name, summary in iter_rule_docs():
+            print(f"{code}  {name:<24} {summary}")
+        return 0
+
+    if args.write_schema_fingerprint:
+        for raw in args.paths:
+            specs_path = find_specs_module(Path(raw))
+            if specs_path is not None:
+                record = write_fingerprint(
+                    specs_path, Path(config.schema_fingerprint_path)
+                )
+                print(
+                    f"recorded spec schema v{record['spec_schema_version']} "
+                    f"fingerprint {record['fingerprint'][:12]}... at "
+                    f"{config.schema_fingerprint_path}"
+                )
+                return 0
+        print("error: no experiment/specs.py found under the given paths",
+              file=sys.stderr)
+        return 2
+
+    try:
+        report = lint_paths(args.paths, config)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    selected = (
+        {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        if args.select
+        else None
+    )
+    disabled = (
+        {code.strip().upper() for code in args.disable.split(",") if code.strip()}
+        if args.disable
+        else set()
+    )
+    report.findings = [
+        finding
+        for finding in report.findings
+        if (selected is None or finding.code in selected)
+        and finding.code not in disabled
+    ]
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_text(report))
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly without
+        # letting the interpreter flush stdout into a second error.
+        sys.stderr.close()
+        raise SystemExit(0)

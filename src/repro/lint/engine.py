@@ -1,0 +1,293 @@
+"""File walker, suppression handling and the rule-driving loop.
+
+The engine owns everything rule modules should not have to repeat: it
+walks the requested paths in sorted order, parses each file once,
+annotates the tree with parent links (rules climb them to find the
+enclosing function or the consuming call), collects
+``# repro-lint: disable=...`` suppressions, scopes each rule through
+:class:`repro.lint.config.LintConfig`, and returns one sorted
+:class:`LintReport`.
+
+Suppression grammar (trailing comment on the *reported* line)::
+
+    candidates = list(tasks.iterdir())  # repro-lint: disable=RPL105
+
+and, as a standalone comment anywhere in the file, a file-wide form::
+
+    # repro-lint: disable-file=RPL104
+
+``disable=all`` silences every rule for that line/file.  Suppressions
+are a last resort — the policy in ``docs/lint.md`` is that a false
+positive sharpens the rule instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.lint.config import LintConfig, scope_path
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "ProjectContext",
+    "annotate_parents",
+    "lint_paths",
+    "parents",
+]
+
+#: Engine-level pseudo-code for files the parser rejects: a file that
+#: does not parse cannot be proven clean, so it must fail the run.
+PARSE_ERROR_CODE = "RPL001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding]
+    files_scanned: int
+
+    @property
+    def counts_by_code(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable JSON output schema (``--format json``)."""
+        return {
+            "version": 1,
+            "files_scanned": self.files_scanned,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "by_code": self.counts_by_code,
+            },
+        }
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach ``_rpl_parent`` to every node so rules can climb upward."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._rpl_parent = node  # type: ignore[attr-defined]
+
+
+def parents(node: ast.AST) -> Iterator[ast.AST]:
+    """The chain of ancestors of ``node``, nearest first."""
+    current = getattr(node, "_rpl_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_rpl_parent", None)
+
+
+class _Suppressions:
+    """Per-file suppression table parsed from comments."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper()
+                for code in match.group(2).split(",")
+                if code.strip()
+            }
+            if match.group(1) == "disable-file":
+                self.file_wide |= codes
+            else:
+                self.by_line.setdefault(lineno, set()).update(codes)
+
+    def suppressed(self, finding: Finding) -> bool:
+        for codes in (self.file_wide, self.by_line.get(finding.line, ())):
+            if finding.code in codes or "ALL" in codes:
+                return True
+        return False
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule needs about the file under analysis."""
+
+    path: Path
+    display: str
+    scope: str
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    _cache: dict[str, Any] = field(default_factory=dict)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    def cached(self, key: str, build: Any) -> Any:
+        """Share per-file derived state (e.g. the import table) between
+        rules without re-walking the tree."""
+        if key not in self._cache:
+            self._cache[key] = build(self)
+        return self._cache[key]
+
+
+@dataclass
+class ProjectContext:
+    """What a project-level rule (one check per scanned root) sees."""
+
+    root: Path
+    config: LintConfig
+
+
+def _display(path: Path) -> str:
+    """Findings print paths relative to the working directory when
+    possible — that is what editors and CI logs link."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(root: Path) -> list[Path]:
+    """Every ``*.py`` under ``root`` (or ``root`` itself), sorted."""
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+def _lint_file(path: Path, root: Path, config: LintConfig) -> list[Finding]:
+    from repro.lint.rules import file_rules
+
+    display = _display(path)
+    try:
+        relative = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relative = path.name
+    scope = scope_path(path.resolve().parts, relative)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    annotate_parents(tree)
+    suppressions = _Suppressions(source)
+    context = FileContext(
+        path=path,
+        display=display,
+        scope=scope,
+        source=source,
+        tree=tree,
+        config=config,
+    )
+    findings: list[Finding] = []
+    for rule in file_rules():
+        if not config.applies(rule.code, scope):
+            continue
+        for finding in rule.check(context):
+            if not suppressions.suppressed(finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> LintReport:
+    """Analyze every file under ``paths``; the API behind the CLI.
+
+    Per-file rules run on each ``*.py`` file; project rules (the schema
+    fingerprint) run once per *directory* argument, against that root.
+    """
+    from repro.lint.rules import project_rules
+
+    config = config if config is not None else LintConfig.default()
+    findings: list[Finding] = []
+    files_scanned = 0
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for path in iter_python_files(root):
+            files_scanned += 1
+            findings.extend(_lint_file(path, root, config))
+        if root.is_dir():
+            context = ProjectContext(root=root, config=config)
+            for rule in project_rules():
+                findings.extend(rule.check_project(context))
+    return LintReport(findings=sorted(set(findings)), files_scanned=files_scanned)
+
+
+def render_text(report: LintReport) -> str:
+    """The human-readable output format."""
+    lines = [finding.render() for finding in report.findings]
+    total = len(report.findings)
+    if total:
+        by_code = ", ".join(
+            f"{code} x{count}" for code, count in report.counts_by_code.items()
+        )
+        lines.append(
+            f"{total} finding(s) in {report.files_scanned} file(s): {by_code}"
+        )
+    else:
+        lines.append(f"clean: {report.files_scanned} file(s), 0 findings")
+    return "\n".join(lines)
+
+
+def iter_rule_docs() -> Iterable[tuple[str, str, str]]:
+    """(code, name, summary) for every registered rule — the CLI's
+    ``--rules`` listing and the doc catalog's source of truth."""
+    from repro.lint.rules import all_rules
+
+    for rule in all_rules():
+        yield rule.code, rule.name, rule.summary

@@ -1,0 +1,94 @@
+"""Rule registry: one module per rule family, one class per rule code.
+
+Importing this package registers the built-in families — determinism
+(``RPL1xx``), atomic IO (``RPL2xx``) and schema discipline
+(``RPL3xx``).  Every rule carries a stable code, a short name and a
+one-line summary; ``docs/lint.md`` renders its catalog from exactly
+these attributes, so code and documentation cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Type
+
+from repro.lint.engine import FileContext, Finding, ProjectContext
+
+__all__ = [
+    "FileRule",
+    "ProjectRule",
+    "all_rules",
+    "file_rules",
+    "get_rule",
+    "project_rules",
+    "register",
+]
+
+
+class FileRule:
+    """A rule checked against each scanned file's AST."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def walk(self, context: FileContext) -> Iterator[ast.AST]:
+        yield from ast.walk(context.tree)
+
+
+class ProjectRule:
+    """A rule checked once per scanned directory root."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, FileRule | ProjectRule] = {}
+
+
+def register(
+    rule_cls: "Type[FileRule] | Type[ProjectRule]",
+) -> "Type[FileRule] | Type[ProjectRule]":
+    """Class decorator adding one rule instance to the registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def _load() -> None:
+    # Import for the registration side effect; sorted, stable order.
+    from repro.lint.rules import atomic_io, determinism, schema  # noqa: F401
+
+
+def all_rules() -> "list[FileRule | ProjectRule]":
+    _load()
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def file_rules() -> list[FileRule]:
+    return [rule for rule in all_rules() if isinstance(rule, FileRule)]
+
+
+def project_rules() -> list[ProjectRule]:
+    return [rule for rule in all_rules() if isinstance(rule, ProjectRule)]
+
+
+def get_rule(code: str) -> "FileRule | ProjectRule":
+    _load()
+    return _REGISTRY[code]
+
+
+def rule_codes() -> Iterable[str]:
+    _load()
+    return sorted(_REGISTRY)

@@ -1,0 +1,177 @@
+"""RPL2xx — atomic IO: the shared-directory JSON envelope protocols.
+
+The result cache and the lease queues exchange whole JSON documents
+between processes that share nothing but a directory.  Their correctness
+rests on two mechanical disciplines:
+
+* every envelope/index write goes through the blessed
+  :mod:`repro.experiment.fsio` helpers (unique temp name +
+  ``os.replace``) so a reader can never observe a torn file;
+* an envelope changes *owner* by rename, and is *deleted* only inside
+  the handful of audited repossession/collection helpers — the PR 5
+  requeue race came from a write-then-unlink sequence whose trailing
+  unlink could destroy a successor's fresh claim.
+
+Scope (see :class:`repro.lint.config.LintConfig.default`): the cache,
+queue backend, broker and worker modules.  ``fsio.py`` itself is outside
+the scope — it is the one place allowed to open files for writing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules import FileRule, register
+from repro.lint.rules.common import (
+    call_name,
+    enclosing_function,
+    imports_of,
+    literal_suffix,
+    method_name,
+)
+
+#: Method names that hand a whole file's contents over non-atomically.
+_WHOLE_FILE_WRITERS = frozenset({"write_text", "write_bytes"})
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The constant mode string of an ``open``-style call, if visible."""
+    mode_expr: ast.AST | None = None
+    if len(node.args) >= 2:
+        mode_expr = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_expr = keyword.value
+    if mode_expr is None:
+        return "r"
+    if isinstance(mode_expr, ast.Constant) and isinstance(mode_expr.value, str):
+        return mode_expr.value
+    return None
+
+
+@register
+class NonAtomicWriteRule(FileRule):
+    code = "RPL201"
+    name = "non-atomic-write"
+    summary = (
+        "direct open('w')/write_text/json.dump in cache/queue/broker "
+        "modules — envelope writes must go through fsio (tmp + os.replace)"
+    )
+
+    _ADVICE = (
+        "; serialize with json.dumps and write via "
+        "repro.experiment.fsio.atomic_write_text so readers never see a "
+        "torn file"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        for node in self.walk(context):
+            if not isinstance(node, ast.Call):
+                continue
+            if imports.resolve(node.func) == ("json", "dump"):
+                yield context.finding(
+                    node,
+                    self.code,
+                    "json.dump() streams JSON into a non-atomic file handle"
+                    + self._ADVICE,
+                )
+                continue
+            if method_name(node) in _WHOLE_FILE_WRITERS:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"Path.{method_name(node)}() overwrites in place"
+                    + self._ADVICE,
+                )
+                continue
+            is_open = call_name(node) == "open" or imports.resolve(node.func) in (
+                ("io", "open"),
+                ("os", "fdopen"),
+            )
+            if not is_open:
+                continue
+            mode = _open_mode(node)
+            if mode is None or not node.args:
+                continue
+            if any(flag in mode for flag in "wx+"):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"open(..., {mode!r}) writes in place" + self._ADVICE,
+                )
+            elif "a" in mode and literal_suffix(node.args[0]) == ".json":
+                yield context.finding(
+                    node,
+                    self.code,
+                    "appending to a .json envelope can never be atomic"
+                    + self._ADVICE,
+                )
+
+
+@register
+class EnvelopeUnlinkRule(FileRule):
+    code = "RPL202"
+    name = "envelope-unlink"
+    summary = (
+        "os.remove/unlink of queue envelopes outside the blessed "
+        "repossession/collection helpers — ownership moves by rename"
+    )
+
+    def _is_unlink(self, node: ast.Call, imports) -> bool:
+        if imports.resolve(node.func) in (("os", "remove"), ("os", "unlink")):
+            return True
+        return method_name(node) == "unlink"
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        blessed = context.config.blessed_unlink_functions
+        for node in self.walk(context):
+            if not isinstance(node, ast.Call) or not self._is_unlink(node, imports):
+                continue
+            function = enclosing_function(node)
+            if function is not None and function.name in blessed:
+                continue
+            where = f"function {function.name!r}" if function else "module scope"
+            yield context.finding(
+                node,
+                self.code,
+                f"envelope deletion in {where}, which is not a blessed "
+                "repossession/collection helper; hand ownership over by "
+                "os.replace, or audit the new deletion site into "
+                "LintConfig.blessed_unlink_functions (write-then-unlink "
+                "is how the PR 5 requeue race lost live claims)",
+            )
+
+
+@register
+class BareRenameRule(FileRule):
+    code = "RPL203"
+    name = "bare-rename"
+    summary = (
+        "os.rename/Path.rename where atomic-overwrite os.replace is "
+        "required — rename raises or races when the target exists"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        for node in self.walk(context):
+            if not isinstance(node, ast.Call):
+                continue
+            if imports.resolve(node.func) == ("os", "rename"):
+                yield context.finding(
+                    node,
+                    self.code,
+                    "os.rename() is not atomic-overwrite-portable (it "
+                    "raises on Windows when the target exists); use "
+                    "os.replace()",
+                )
+            elif method_name(node) == "rename":
+                yield context.finding(
+                    node,
+                    self.code,
+                    "Path.rename() is not atomic-overwrite-portable; use "
+                    "Path.replace() / os.replace()",
+                )

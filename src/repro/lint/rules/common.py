@@ -1,0 +1,120 @@
+"""Shared AST helpers for the rule families.
+
+The central primitive is :class:`Imports`: a per-file table of what each
+local name means in module terms, so rules match *canonical* call chains
+(``("numpy", "random", "seed")``) no matter how the module was imported
+— ``import numpy as np``, ``from numpy import random as npr`` and
+``from numpy.random import seed`` all resolve to the same chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, parents
+
+__all__ = [
+    "Imports",
+    "call_name",
+    "enclosing_function",
+    "imports_of",
+    "literal_suffix",
+    "method_name",
+]
+
+
+class Imports:
+    """What each local name binds to, in canonical dotted-module terms."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: local name -> dotted module it refers to (``np`` -> ``numpy``)
+        self.modules: dict[str, str] = {}
+        #: local name -> (module, original name) for ``from m import n``
+        self.names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds ``numpy``
+                        root = alias.name.split(".")[0]
+                        self.modules[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = (node.module, alias.name)
+
+    def resolve(self, node: ast.AST) -> tuple[str, ...] | None:
+        """Canonical dotted chain of an attribute/name expression, or
+        ``None`` when the root is not a recognized import."""
+        chain: list[str] = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.append(node.id)
+        chain.reverse()
+        root = chain[0]
+        if root in self.modules:
+            return tuple(self.modules[root].split(".")) + tuple(chain[1:])
+        if root in self.names:
+            module, original = self.names[root]
+            return tuple(module.split(".")) + (original,) + tuple(chain[1:])
+        return None
+
+
+def imports_of(context: FileContext) -> Imports:
+    """The file's import table, built once and shared between rules."""
+    return context.cached("imports", lambda ctx: Imports(ctx.tree))
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The bare name a call invokes (``sorted(...)`` -> ``"sorted"``)."""
+    return node.func.id if isinstance(node.func, ast.Name) else None
+
+
+def method_name(node: ast.Call) -> str | None:
+    """The attribute name of a method-style call (``p.iterdir()`` ->
+    ``"iterdir"``), whatever the receiver expression is."""
+    return node.func.attr if isinstance(node.func, ast.Attribute) else None
+
+
+def enclosing_function(node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    """The nearest function definition ``node`` sits inside, if any."""
+    for ancestor in parents(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def _last_literal(node: ast.AST) -> str | None:
+    """The trailing string literal of a path-ish expression, if one is
+    statically visible: a constant, the last piece of an f-string, or
+    the right side of ``/`` / ``+`` / ``%`` path arithmetic."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        return _last_literal(node.values[-1])
+    if isinstance(node, ast.FormattedValue):
+        return None
+    if isinstance(node, ast.BinOp):
+        return _last_literal(node.right)
+    return None
+
+
+def literal_suffix(node: ast.AST) -> str | None:
+    """Best-effort file suffix of a path expression (``".json"``), or
+    ``None`` when the target is not statically known."""
+    literal = _last_literal(node)
+    if literal is None or "." not in literal:
+        return None
+    return "." + literal.rsplit(".", 1)[1]
+
+
+def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

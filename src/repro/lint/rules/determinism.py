@@ -1,0 +1,377 @@
+"""RPL1xx — determinism: same spec, same bytes, on any host.
+
+The engine's reproducibility contract (same spec => same
+``spec_digest`` => byte-identical result payload across the serial /
+process / work-queue / broker backends) only holds while no code inside
+the simulation draws from process-dependent state.  These rules pin the
+known ways that property has been — or could be — lost:
+
+* ``RPL101`` — builtin ``hash()`` is salted per process
+  (``PYTHONHASHSEED``); the PR 1 seeding bug derived RNG streams from
+  ``hash(name)`` and gave every worker a different random stream.
+* ``RPL102`` — the ``random`` module's top-level functions share one
+  global, process-wide generator.
+* ``RPL103`` — unseeded RNG construction (``random.Random()``,
+  ``numpy.random.default_rng()`` with no seed) and the legacy
+  ``numpy.random`` global-state API (``np.random.seed`` / ``rand`` /
+  ``shuffle`` ...).
+* ``RPL104`` — wall-clock reads inside simulation/spec code: virtual
+  time comes from the event loop, never from the host clock.
+* ``RPL105`` — iteration over unordered sources (``set`` /
+  ``frozenset`` / ``os.listdir`` / ``os.scandir`` / ``glob`` /
+  ``Path.iterdir``) materialized into ordered output without an
+  enclosing ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext, Finding
+from repro.lint.rules import FileRule, register
+from repro.lint.rules.common import (
+    call_name,
+    enclosing_function,
+    imports_of,
+    method_name,
+)
+
+#: ``numpy.random`` attributes that do *not* touch global state: the
+#: Generator-era constructors.  Everything else on the module is either
+#: the legacy global-state API or a convenience alias for it.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Wall-clock call chains (canonical module terms).
+_WALL_CLOCK_CHAINS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "process_time"),
+        ("time", "process_time_ns"),
+        ("datetime", "datetime", "now"),
+        ("datetime", "datetime", "utcnow"),
+        ("datetime", "datetime", "today"),
+        ("datetime", "date", "today"),
+    }
+)
+
+#: Calls whose result is an unordered sequence of strings/paths.
+_UNORDERED_MODULE_CALLS = frozenset(
+    {
+        ("os", "listdir"),
+        ("os", "scandir"),
+        ("glob", "glob"),
+        ("glob", "iglob"),
+    }
+)
+_UNORDERED_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+#: Consumers that erase iteration order, making an unordered source safe.
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "set", "frozenset", "sum", "len", "min", "max", "any", "all",
+     "dict", "Counter"}
+)
+
+#: Mutating calls in a loop body that bake iteration order into output.
+_ORDER_SENSITIVE_METHODS = frozenset(
+    {"append", "extend", "insert", "appendleft", "write", "writelines",
+     "write_text", "write_bytes"}
+)
+
+
+@register
+class BuiltinHashRule(FileRule):
+    code = "RPL101"
+    name = "builtin-hash"
+    summary = (
+        "builtin hash() outside __hash__ — salted per process "
+        "(PYTHONHASHSEED); derive stable keys via zlib.crc32/hashlib"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in self.walk(context):
+            if not isinstance(node, ast.Call) or call_name(node) != "hash":
+                continue
+            function = enclosing_function(node)
+            if function is not None and function.name == "__hash__":
+                continue
+            yield context.finding(
+                node,
+                self.code,
+                "builtin hash() is salted per process; use zlib.crc32 or "
+                "hashlib over stable bytes instead (the PR 1 RNG-seeding bug)",
+            )
+
+
+@register
+class GlobalRandomRule(FileRule):
+    code = "RPL102"
+    name = "global-random"
+    summary = (
+        "random-module global state in simulation code — draw from a "
+        "seeded generator stream instead"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        for node in self.walk(context):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield context.finding(
+                            node,
+                            self.code,
+                            f"'from random import {alias.name}' binds the "
+                            "module's shared global generator; use a seeded "
+                            "random.Random or the simulator's rng_stream",
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            chain = imports.resolve(node.func)
+            if (
+                chain is not None
+                and len(chain) == 2
+                and chain[0] == "random"
+                and chain[1] != "Random"
+            ):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"random.{chain[1]}() uses process-global RNG state; "
+                    "draw from a seeded generator stream "
+                    "(Simulator.rng_stream / numpy default_rng(seed))",
+                )
+
+
+@register
+class UnseededRngRule(FileRule):
+    code = "RPL103"
+    name = "unseeded-rng"
+    summary = (
+        "unseeded random.Random()/numpy default_rng() or the legacy "
+        "numpy.random global-state API in simulation code"
+    )
+
+    def _numpy_findings(
+        self, context: FileContext, node: ast.Call, chain: tuple[str, ...]
+    ) -> Iterator[Finding]:
+        attr = chain[2]
+        if attr not in _NP_RANDOM_ALLOWED:
+            yield context.finding(
+                node,
+                self.code,
+                f"numpy.random.{attr}() is the legacy global-state API; "
+                "use numpy.random.default_rng(seed) / SeedSequence streams",
+            )
+        elif attr == "default_rng" and not node.args and not node.keywords:
+            yield context.finding(
+                node,
+                self.code,
+                "numpy.random.default_rng() without a seed draws OS entropy; "
+                "pass an explicit seed or SeedSequence",
+            )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        for node in self.walk(context):
+            if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _NP_RANDOM_ALLOWED:
+                        yield context.finding(
+                            node,
+                            self.code,
+                            f"'from numpy.random import {alias.name}' is the "
+                            "legacy global-state API; import default_rng / "
+                            "SeedSequence instead",
+                        )
+            if not isinstance(node, ast.Call):
+                continue
+            chain = imports.resolve(node.func)
+            if chain is None:
+                continue
+            if chain == ("random", "Random") and not node.args and not node.keywords:
+                yield context.finding(
+                    node,
+                    self.code,
+                    "random.Random() without a seed is seeded from OS "
+                    "entropy; pass an explicit seed",
+                )
+            elif len(chain) == 3 and chain[:2] == ("numpy", "random"):
+                yield from self._numpy_findings(context, node, chain)
+
+
+@register
+class WallClockRule(FileRule):
+    code = "RPL104"
+    name = "wall-clock"
+    summary = (
+        "wall-clock reads (time.time/perf_counter/datetime.now) inside "
+        "simulation/spec code — virtual time comes from the event loop"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        for node in self.walk(context):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = imports.resolve(node.func)
+            if chain in _WALL_CLOCK_CHAINS:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"{'.'.join(chain)}() reads the host clock inside "
+                    "simulation/spec code; use the simulator's virtual now "
+                    "(results must not depend on host timing)",
+                )
+
+
+def _is_unordered(node: ast.AST, imports) -> str | None:
+    """Why ``node`` yields elements in process-dependent order, or None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if not isinstance(node, ast.Call):
+        return None
+    name = call_name(node)
+    if name in ("set", "frozenset"):
+        return f"{name}(...)"
+    chain = imports.resolve(node.func)
+    if chain in _UNORDERED_MODULE_CALLS:
+        return f"{'.'.join(chain)}(...)"
+    method = method_name(node)
+    if method in _UNORDERED_METHODS:
+        return f".{method}(...)"
+    return None
+
+
+def _consuming_call(node: ast.AST) -> ast.Call | None:
+    """The call this expression is a direct argument of, if any."""
+    parent = getattr(node, "_rpl_parent", None)
+    if isinstance(parent, ast.Call) and node in parent.args:
+        return parent
+    return None
+
+
+def _order_sensitive_effect(body: list[ast.stmt], imports) -> ast.AST | None:
+    """The first statement/expression in a loop body that bakes the
+    iteration order into an ordered artifact, skipping nested defs."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+            return node
+        if isinstance(node, ast.Call):
+            if method_name(node) in _ORDER_SENSITIVE_METHODS:
+                return node
+            if imports.resolve(node.func) == ("json", "dump"):
+                return node
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
+@register
+class UnorderedIterationRule(FileRule):
+    code = "RPL105"
+    name = "unordered-iteration"
+    summary = (
+        "iteration over set/listdir/glob/iterdir results materialized "
+        "into ordered output without an enclosing sorted(...)"
+    )
+
+    def _loop_findings(self, context: FileContext, imports) -> Iterator[Finding]:
+        for node in self.walk(context):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            reason = _is_unordered(node.iter, imports)
+            if reason is None:
+                continue
+            effect = _order_sensitive_effect(node.body, imports)
+            if effect is None:
+                continue
+            yield context.finding(
+                node.iter,
+                self.code,
+                f"loop over {reason} feeds ordered output (line "
+                f"{getattr(effect, 'lineno', '?')}) in process-dependent "
+                "order; wrap the source in sorted(...)",
+            )
+
+    def _comprehension_findings(
+        self, context: FileContext, imports
+    ) -> Iterator[Finding]:
+        for node in self.walk(context):
+            if not isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                continue
+            consumer = _consuming_call(node)
+            if consumer is not None and call_name(consumer) in _ORDER_SAFE_CONSUMERS:
+                continue
+            kind = "list" if isinstance(node, ast.ListComp) else "generator"
+            for generator in node.generators:
+                reason = _is_unordered(generator.iter, imports)
+                if reason is not None:
+                    yield context.finding(
+                        generator.iter,
+                        self.code,
+                        f"{kind} comprehension over {reason} materializes "
+                        "process-dependent order; wrap the source in "
+                        "sorted(...) or feed an order-insensitive consumer",
+                    )
+
+    def _materialize_findings(
+        self, context: FileContext, imports
+    ) -> Iterator[Finding]:
+        for node in self.walk(context):
+            if not isinstance(node, ast.Call) or call_name(node) not in (
+                "list",
+                "tuple",
+            ):
+                continue
+            if len(node.args) != 1:
+                continue
+            reason = _is_unordered(node.args[0], imports)
+            if reason is None:
+                continue
+            consumer = _consuming_call(node)
+            if consumer is not None and call_name(consumer) in _ORDER_SAFE_CONSUMERS:
+                continue
+            yield context.finding(
+                node,
+                self.code,
+                f"{call_name(node)}() materializes {reason} in "
+                "process-dependent order; use sorted(...) instead",
+            )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        imports = imports_of(context)
+        yield from self._loop_findings(context, imports)
+        yield from self._comprehension_findings(context, imports)
+        yield from self._materialize_findings(context, imports)
+
+
+__all__ = [
+    "BuiltinHashRule",
+    "GlobalRandomRule",
+    "UnorderedIterationRule",
+    "UnseededRngRule",
+    "WallClockRule",
+]

@@ -1,0 +1,209 @@
+"""RPL3xx — schema discipline: spec fields cannot move silently.
+
+Every cached result and golden fixture is keyed by
+``spec_digest(spec)`` = sha256 of the canonical spec dict mixed with
+``SPEC_SCHEMA_VERSION``.  Adding, removing or renaming a field on any
+spec dataclass changes every canonical dict — so the version **must**
+be bumped, or stale cache entries and goldens silently keep matching
+dicts they no longer describe.
+
+``RPL301`` machine-enforces that: the set of canonical field names in
+``experiment/specs.py`` is fingerprinted from the AST and cross-checked
+against a recorded fingerprint stored alongside the goldens
+(``tests/experiment/golden/spec_schema_fingerprint.json``).  A field
+change with an unchanged ``SPEC_SCHEMA_VERSION`` is a finding; a version
+bump without refreshing the recorded fingerprint is a finding telling
+you to run ``python -m repro.lint --write-schema-fingerprint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.lint.engine import Finding, ProjectContext
+from repro.lint.rules import ProjectRule, register
+
+__all__ = [
+    "SchemaFingerprintRule",
+    "compute_fingerprint",
+    "find_specs_module",
+    "read_recorded_fingerprint",
+    "write_fingerprint",
+]
+
+
+def _is_dataclass_decorator(node: ast.expr) -> bool:
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    if isinstance(target, ast.Name):
+        return target.id == "ClassVar"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "ClassVar"
+    return False
+
+
+def extract_schema(source: str) -> tuple[int | None, dict[str, list[str]]]:
+    """``(SPEC_SCHEMA_VERSION, {dataclass: sorted field names})`` parsed
+    statically from a ``specs.py`` source text."""
+    tree = ast.parse(source)
+    version: int | None = None
+    classes: dict[str, list[str]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "SPEC_SCHEMA_VERSION"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    version = node.value.value
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(_is_dataclass_decorator(d) for d in node.decorator_list):
+            continue
+        fields = [
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+            and not _is_classvar(stmt.annotation)
+        ]
+        classes[node.name] = sorted(fields)
+    return version, classes
+
+
+def compute_fingerprint(classes: dict[str, list[str]]) -> str:
+    """Stable content address of the spec field sets."""
+    canonical = json.dumps(classes, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def find_specs_module(root: Path) -> Path | None:
+    """The ``experiment/specs.py`` under ``root``, if there is one."""
+    candidates = sorted(
+        path
+        for path in root.rglob("specs.py")
+        if path.parent.name == "experiment" and "__pycache__" not in path.parts
+    )
+    return candidates[0] if candidates else None
+
+
+def read_recorded_fingerprint(path: Path) -> dict[str, Any] | None:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def write_fingerprint(specs_path: Path, record_path: Path) -> dict[str, Any]:
+    """Recompute and record the fingerprint (``--write-schema-fingerprint``).
+
+    The record keeps the per-class field lists alongside the digest so a
+    mismatch diff is human-readable in review.
+    """
+    from repro.experiment.fsio import atomic_write_text
+
+    version, classes = extract_schema(specs_path.read_text(encoding="utf-8"))
+    record = {
+        "spec_schema_version": version,
+        "fingerprint": compute_fingerprint(classes),
+        "classes": classes,
+    }
+    record_path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(record_path, json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+def _diff_classes(
+    recorded: dict[str, Any], current: dict[str, list[str]]
+) -> str:
+    """A compact field-level diff for the finding message."""
+    old = recorded if isinstance(recorded, dict) else {}
+    changes: list[str] = []
+    for name in sorted(set(old) | set(current)):
+        before = set(old.get(name, ()) or ())
+        after = set(current.get(name, ()))
+        added = sorted(after - before)
+        removed = sorted(before - after)
+        if name not in old:
+            changes.append(f"+class {name}")
+        elif name not in current:
+            changes.append(f"-class {name}")
+        elif added or removed:
+            parts = [f"+{field}" for field in added] + [f"-{field}" for field in removed]
+            changes.append(f"{name}({', '.join(parts)})")
+    return "; ".join(changes) if changes else "field sets differ"
+
+
+@register
+class SchemaFingerprintRule(ProjectRule):
+    code = "RPL301"
+    name = "spec-schema-fingerprint"
+    summary = (
+        "spec dataclass fields changed without bumping SPEC_SCHEMA_VERSION "
+        "(fingerprint cross-check against the recorded golden)"
+    )
+
+    def _finding(self, specs_path: Path, line: int, message: str) -> Finding:
+        try:
+            display = specs_path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            display = specs_path.as_posix()
+        return Finding(path=display, line=line, col=1, code=self.code, message=message)
+
+    def check_project(self, context: ProjectContext) -> Iterator[Finding]:
+        specs_path = find_specs_module(context.root)
+        if specs_path is None:
+            return
+        version, classes = extract_schema(specs_path.read_text(encoding="utf-8"))
+        fingerprint = compute_fingerprint(classes)
+        record_path = Path(context.config.schema_fingerprint_path)
+        record = read_recorded_fingerprint(record_path)
+        if record is None:
+            yield self._finding(
+                specs_path,
+                1,
+                f"no recorded spec-schema fingerprint at {record_path}; "
+                "run 'python -m repro.lint --write-schema-fingerprint' and "
+                "commit the record alongside the goldens",
+            )
+            return
+        recorded_version = record.get("spec_schema_version")
+        recorded_fingerprint = record.get("fingerprint")
+        if fingerprint == recorded_fingerprint and version == recorded_version:
+            return
+        if version == recorded_version:
+            yield self._finding(
+                specs_path,
+                1,
+                "spec dataclass fields changed but SPEC_SCHEMA_VERSION is "
+                f"still {version} ({_diff_classes(record.get('classes', {}), classes)}); "
+                "every digest and cached/golden payload silently keeps "
+                "matching stale dicts — bump SPEC_SCHEMA_VERSION, then "
+                "refresh with --write-schema-fingerprint",
+            )
+        else:
+            yield self._finding(
+                specs_path,
+                1,
+                f"SPEC_SCHEMA_VERSION is {version} but the recorded "
+                f"fingerprint was taken at version {recorded_version}; "
+                "regenerate the goldens if needed and refresh the record "
+                "with 'python -m repro.lint --write-schema-fingerprint'",
+            )

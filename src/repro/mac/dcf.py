@@ -20,7 +20,7 @@ The MAC owns a bounded interface queue; upper layers push frames with
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.mac.constants import ACK_FRAME_BYTES, DEFAULT_MAC_CONFIG, MacConfig

@@ -27,7 +27,7 @@ from repro.phy.error_models import BerPacketErrorModel, ErrorModel
 from repro.phy.propagation import LogDistancePathLoss, PropagationModel, dbm_to_mw
 from repro.phy.radio import RadioConfig, frame_airtime
 from repro.phy.sinr import CaptureModel
-from repro.mac.frames import Frame, FrameKind
+from repro.mac.frames import Frame
 from repro.engine import Simulator
 
 

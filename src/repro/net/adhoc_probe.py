@@ -15,7 +15,7 @@ benchmark can regenerate that comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.node import MeshNode
 from repro.net.packet import Packet, PacketKind

@@ -10,7 +10,7 @@ registered themselves as handlers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.mac.constants import (

@@ -17,7 +17,7 @@ gap so queued traffic from one phase does not leak into the next.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.network import MeshNetwork, UdpFlowHandle
 

@@ -20,7 +20,7 @@ routes the real Srcr protocol would find anyway.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Literal
 
 import numpy as np

@@ -21,7 +21,7 @@ paper's Click implementation enforces the optimized rates on TCP traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.node import MeshNode
 from repro.net.packet import Packet, PacketKind

@@ -17,7 +17,7 @@ records per-packet delivery for loss accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.node import MeshNode
 from repro.net.packet import Packet, PacketKind

@@ -1,7 +1,6 @@
 """Tests for LIR, interference maps, clique enumeration and conflict graphs."""
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for rate-control helpers and the online optimization controller."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -9,7 +9,6 @@ diverge between files.
 from __future__ import annotations
 
 import json
-from typing import Any
 
 from repro.experiment import ControllerSpec, ExperimentSpec, FlowSpec, ScenarioSpec
 

@@ -1,0 +1,10 @@
+"""Violating fixture: builtin hash() outside __hash__."""
+
+
+def rng_spawn_key(name: str) -> int:
+    # Salted per process: two workers of one sweep disagree on the key.
+    return hash(name) & 0xFFFFFFFF
+
+
+def bucket_of(label: str, buckets: int) -> int:
+    return hash(label) % buckets

@@ -1,0 +1,8 @@
+"""Clean fixture: a private, seeded generator instance."""
+
+from random import Random
+
+
+def jitter_backoff(seed: int, slots: int) -> int:
+    rng = Random(seed)
+    return rng.randint(0, slots - 1)

@@ -1,0 +1,17 @@
+"""Violating fixture: the random module's process-global generator."""
+
+import random
+from random import shuffle
+
+
+def jitter_backoff(slots: int) -> int:
+    return random.randint(0, slots - 1)
+
+
+def shuffled(items: list) -> list:
+    out = list(items)
+    shuffle(out)
+    return out
+
+
+random.seed(1234)  # seeding the global generator is still global state

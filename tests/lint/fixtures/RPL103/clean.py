@@ -1,0 +1,20 @@
+"""Clean fixture: explicit seeds and SeedSequence-derived streams."""
+
+import random
+
+import numpy as np
+from numpy.random import SeedSequence, default_rng
+
+
+def seeded_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def stream(seed: int, spawn_key: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(spawn_key,))
+    )
+
+
+def direct(seed: int) -> np.random.Generator:
+    return default_rng(SeedSequence(seed))

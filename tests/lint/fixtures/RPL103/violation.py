@@ -1,0 +1,23 @@
+"""Violating fixture: unseeded RNGs and numpy's global-state API."""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+
+
+def fresh_rng():
+    return random.Random()  # seeded from OS entropy: unreproducible
+
+
+def noise(n: int):
+    np.random.seed(42)  # global state, shared across the whole process
+    return np.random.normal(size=n)
+
+
+def entropy_rng():
+    return np.random.default_rng()  # no seed: OS entropy
+
+
+def uniform_block(n: int):
+    return rand(n)

@@ -1,0 +1,14 @@
+"""Clean fixture: virtual time comes from the simulator."""
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def frame_timestamp(sim: Simulator) -> float:
+    return sim.now
+
+
+def deadline(sim: Simulator, timeout_s: float) -> float:
+    return sim.now + timeout_s

@@ -1,0 +1,18 @@
+"""Violating fixture: host-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def frame_timestamp() -> float:
+    return time.time()  # host clock leaks into simulated state
+
+
+def cycle_cost() -> float:
+    start = perf_counter()
+    return perf_counter() - start
+
+
+def run_label() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,31 @@
+"""Clean fixture: sorted materialization and order-insensitive consumers."""
+
+import os
+from pathlib import Path
+
+
+def collect_names(queue_dir: str) -> list:
+    return sorted(os.listdir(queue_dir))
+
+
+def payload_paths(root: Path) -> list:
+    return sorted(root.glob("*.json"))
+
+
+def candidates(tasks_dir: Path, match: str) -> list:
+    # A generator over iterdir is fine when sorted() consumes it.
+    return sorted(p for p in tasks_dir.iterdir() if p.name.startswith(match))
+
+
+def present_names(results_dir: Path) -> set:
+    # Building an unordered container from an unordered source is fine.
+    return {entry.name for entry in os.scandir(results_dir)}
+
+
+def depth(tasks_dir: Path, match: str) -> int:
+    # Order-insensitive aggregation over an unordered source is fine.
+    return sum(1 for entry in os.scandir(tasks_dir) if entry.name.startswith(match))
+
+
+def total_size(root: Path) -> int:
+    return sum(path.stat().st_size for path in root.glob("*.json"))

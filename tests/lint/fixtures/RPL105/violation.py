@@ -1,0 +1,27 @@
+"""Violating fixture: unordered sources materialized into ordered output."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def collect_names(queue_dir: str) -> list:
+    return [name for name in os.listdir(queue_dir)]  # order is fs-dependent
+
+
+def payload_paths(root: Path) -> list:
+    return list(root.glob("*.json"))  # materialized unsorted
+
+
+def first_member(items: list):
+    for item in set(items):  # set order is salted per process
+        return item
+
+
+def write_manifest(root: Path, out) -> None:
+    for entry in os.scandir(root):
+        out.write(entry.name + "\n")  # manifest bytes differ run to run
+
+
+def matching(pattern: str) -> tuple:
+    return tuple(glob.glob(pattern))

@@ -1,0 +1,23 @@
+"""Clean fixture: envelope writes through the blessed atomic helper."""
+
+import json
+from pathlib import Path
+
+from repro.experiment.fsio import atomic_write_text
+
+
+def write_result(results_dir: Path, task_id: str, payload: dict) -> None:
+    atomic_write_text(results_dir / f"{task_id}.json", json.dumps(payload))
+
+
+def read_result(results_dir: Path, task_id: str) -> dict:
+    # Reads need no blessing — atomic replace guarantees whole files.
+    with open(results_dir / f"{task_id}.json", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def append_log(log_path, line: str) -> None:
+    # Append-only logs are streams, not envelopes: partial lines are
+    # acceptable there and no reader parses them as JSON documents.
+    with open(log_path, "ab") as fh:
+        fh.write(line.encode("utf-8"))

@@ -1,0 +1,19 @@
+"""Violating fixture: non-atomic envelope writes in queue-protocol code."""
+
+import json
+from pathlib import Path
+
+
+def write_result(results_dir: Path, task_id: str, payload: dict) -> None:
+    # A reader polling results/ can observe this file half-written.
+    with open(results_dir / f"{task_id}.json", "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def write_index(index_path: Path, index: dict) -> None:
+    index_path.write_text(json.dumps(index))  # in-place overwrite
+
+
+def append_envelope(path: str, line: str) -> None:
+    with open(path + ".json", "a", encoding="utf-8") as fh:
+        fh.write(line)

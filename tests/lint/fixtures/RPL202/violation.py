@@ -1,0 +1,12 @@
+"""Violating fixture: envelope deletion outside the blessed helpers."""
+
+import os
+from pathlib import Path
+
+
+def drop_claim(claimed: Path) -> None:
+    claimed.unlink()  # not a blessed repossession/collection helper
+
+
+def tidy(results_dir: str, name: str) -> None:
+    os.remove(os.path.join(results_dir, name))

@@ -1,0 +1,12 @@
+"""Clean fixture: atomic-overwrite renames via os.replace."""
+
+import os
+from pathlib import Path
+
+
+def claim(task: Path, claimed: Path) -> None:
+    os.replace(task, claimed)
+
+
+def publish(tmp: Path, target: Path) -> None:
+    tmp.replace(target)

@@ -1,0 +1,12 @@
+"""Violating fixture: os.rename where os.replace semantics are required."""
+
+import os
+from pathlib import Path
+
+
+def claim(task: Path, claimed: Path) -> None:
+    os.rename(task, claimed)  # raises/races when the target exists
+
+
+def publish(tmp: Path, target: Path) -> None:
+    tmp.rename(target)

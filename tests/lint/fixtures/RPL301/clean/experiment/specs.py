@@ -1,0 +1,20 @@
+"""RPL301 clean fixture: the recorded fingerprint next to this tree
+matches these field sets at this ``SPEC_SCHEMA_VERSION``.
+"""
+
+from dataclasses import dataclass
+
+SPEC_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    kind: str = "chain"
+    num_nodes: int = 3
+    spacing_m: float = 60.0
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    cycles: int = 1
+    label: str = ""

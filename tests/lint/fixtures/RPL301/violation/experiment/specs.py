@@ -1,0 +1,23 @@
+"""RPL301 violating fixture: a field was added to the spec schema (the
+``jitter_m`` knob) without bumping ``SPEC_SCHEMA_VERSION`` — the
+recorded fingerprint next to this tree was taken before the field
+existed, at the same version.
+"""
+
+from dataclasses import dataclass
+
+SPEC_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    kind: str = "chain"
+    num_nodes: int = 3
+    spacing_m: float = 60.0
+    jitter_m: float = 6.0  # the un-versioned addition
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    cycles: int = 1
+    label: str = ""

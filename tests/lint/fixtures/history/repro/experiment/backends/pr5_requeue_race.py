@@ -1,0 +1,25 @@
+"""Regression corpus — the PR 5 write-then-unlink requeue race.
+
+The original lease-repossession path wrote a *fresh* task file into
+``tasks/`` and unlinked the expired claim afterwards.  A quick worker
+could re-claim the freshly requeued task in between — its new claim
+landing at exactly the old claimed path — and the trailing unlink then
+destroyed the live claim, losing the task from every directory.  The
+fix bumps the envelope in place and hands it over with one atomic
+``os.replace``; deletion stays confined to the audited helpers.
+``RPL202`` must flag the original pattern (an unlink in an unblessed
+function) forever.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiment.fsio import atomic_write_text
+
+
+def requeue_expired(root: Path, entry_path: str, name: str, envelope: dict) -> None:
+    # The bug as shipped: write a fresh task file, then unlink the claim.
+    envelope["attempts"] = int(envelope.get("attempts", 0)) + 1
+    atomic_write_text(root / "tasks" / name, json.dumps(envelope))
+    os.unlink(entry_path)  # may delete a successor's brand-new claim

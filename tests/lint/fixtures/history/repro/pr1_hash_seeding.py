@@ -1,0 +1,31 @@
+"""Regression corpus — the PR 1 nondeterministic RNG-seeding bug.
+
+The original ``Simulator.rng_stream`` derived per-component spawn keys
+with builtin ``hash(name)``.  Python salts string hashes per process
+(``PYTHONHASHSEED``), so every worker of a parallel batch run spawned a
+*different* random stream for the same component and the same spec
+produced different results across backends.  The fix (PR 1) switched to
+``zlib.crc32``; ``RPL101`` must flag the original pattern forever.
+"""
+
+import numpy as np
+
+
+def rng_spawn_key(name: str) -> int:
+    # The bug as shipped: salted per process, different on every worker.
+    return hash(name) & 0xFFFFFFFF
+
+
+class Simulator:
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._streams: dict = {}
+
+    def rng_stream(self, name: str) -> np.random.Generator:
+        if name not in self._streams:
+            self._streams[name] = np.random.default_rng(
+                np.random.SeedSequence(
+                    entropy=self.seed, spawn_key=(rng_spawn_key(name),)
+                )
+            )
+        return self._streams[name]

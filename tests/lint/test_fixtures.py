@@ -1,0 +1,115 @@
+"""Fixture corpus meta-tests.
+
+Every registered rule must ship at least one violating and one clean
+fixture under ``tests/lint/fixtures/<CODE>/``, the violating fixture
+must actually trip the rule, the clean one must not trip anything —
+and the two historical bugs (PR 1 hash-seeding, PR 5 write-then-unlink
+requeue) must stay caught by the *default* production config forever.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, all_rules, lint_paths
+from repro.lint.rules import FileRule, ProjectRule
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+
+RULE_CODES = sorted(rule.code for rule in all_rules())
+
+
+def _fixture_entries(code: str, kind: str) -> list[Path]:
+    root = FIXTURES / code
+    return sorted(
+        path
+        for path in root.glob(f"{kind}*")
+        if path.suffix == ".py" or path.is_dir()
+    )
+
+
+def _config_for(code: str, fixture: Path) -> LintConfig:
+    if code == "RPL301":
+        return LintConfig.unscoped(
+            schema_fingerprint_path=str(fixture / "fingerprint.json")
+        )
+    return LintConfig.unscoped()
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_every_rule_has_violating_and_clean_fixtures(code: str) -> None:
+    assert _fixture_entries(code, "violation"), f"{code} has no violating fixture"
+    assert _fixture_entries(code, "clean"), f"{code} has no clean fixture"
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_violating_fixtures_trip_their_rule(code: str) -> None:
+    for fixture in _fixture_entries(code, "violation"):
+        report = lint_paths([fixture], _config_for(code, fixture))
+        codes = {finding.code for finding in report.findings}
+        assert code in codes, (
+            f"{fixture} was expected to trip {code}, got {sorted(codes)}"
+        )
+
+
+@pytest.mark.parametrize("code", RULE_CODES)
+def test_clean_fixtures_stay_clean(code: str) -> None:
+    for fixture in _fixture_entries(code, "clean"):
+        report = lint_paths([fixture], _config_for(code, fixture))
+        assert report.findings == [], (
+            f"{fixture} should be clean, got: "
+            + "; ".join(f.render() for f in report.findings)
+        )
+
+
+def test_rule_registry_is_well_formed() -> None:
+    rules = all_rules()
+    assert rules, "no rules registered"
+    for rule in rules:
+        assert isinstance(rule, (FileRule, ProjectRule))
+        assert rule.code.startswith("RPL") and rule.code[3:].isdigit()
+        assert rule.name, f"{rule.code} has no name"
+        assert rule.summary, f"{rule.code} has no summary"
+
+
+class TestHistoricalBugCorpus:
+    """The two bugs this repo actually shipped must trip the production
+    CLI (default scoping, no test-only config) with a nonzero exit."""
+
+    def _run_cli(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            cwd=REPO,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+
+    def test_history_corpus_fails_the_default_config(self) -> None:
+        result = self._run_cli(
+            "tests/lint/fixtures/history", "--format", "json"
+        )
+        assert result.returncode == 1, result.stdout + result.stderr
+        payload = json.loads(result.stdout)
+        by_code = payload["summary"]["by_code"]
+        assert by_code.get("RPL101"), "PR 1 hash-seeding bug no longer caught"
+        assert by_code.get("RPL202"), "PR 5 write-then-unlink no longer caught"
+
+    def test_pr1_hash_seeding_is_rpl101(self) -> None:
+        fixture = FIXTURES / "history" / "repro" / "pr1_hash_seeding.py"
+        report = lint_paths([fixture], LintConfig.default())
+        assert any(f.code == "RPL101" for f in report.findings)
+
+    def test_pr5_requeue_race_is_rpl202(self) -> None:
+        fixture = (
+            FIXTURES / "history" / "repro" / "experiment" / "backends"
+            / "pr5_requeue_race.py"
+        )
+        report = lint_paths([fixture], LintConfig.default())
+        assert any(f.code == "RPL202" for f in report.findings)

@@ -1,0 +1,239 @@
+"""Lint-engine behavior: suppressions, scoping, output schema, exit codes."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths
+from repro.lint.config import path_matches, scope_path
+from repro.lint.engine import PARSE_ERROR_CODE
+
+REPO = Path(__file__).resolve().parents[2]
+
+HASH_VIOLATION = "def key(name):\n    return hash(name)\n"
+
+
+def _write(tmp_path: Path, relative: str, source: str) -> Path:
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def _cli(*args: str, cwd: Path = REPO) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_the_line(self, tmp_path: Path) -> None:
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def key(name):
+                return hash(name)  # repro-lint: disable=RPL101
+            """,
+        )
+        assert lint_paths([path], LintConfig.unscoped()).findings == []
+
+    def test_line_suppression_is_code_specific(self, tmp_path: Path) -> None:
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def key(name):
+                return hash(name)  # repro-lint: disable=RPL999
+            """,
+        )
+        report = lint_paths([path], LintConfig.unscoped())
+        assert [f.code for f in report.findings] == ["RPL101"]
+
+    def test_line_suppression_only_covers_its_line(self, tmp_path: Path) -> None:
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            def key(name):
+                a = hash(name)  # repro-lint: disable=RPL101
+                return hash(a)
+            """,
+        )
+        report = lint_paths([path], LintConfig.unscoped())
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 4
+
+    def test_file_wide_suppression(self, tmp_path: Path) -> None:
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            # repro-lint: disable-file=RPL101
+            def key(name):
+                return hash(name)
+
+            def other(name):
+                return hash(name)
+            """,
+        )
+        assert lint_paths([path], LintConfig.unscoped()).findings == []
+
+    def test_disable_all_wildcard(self, tmp_path: Path) -> None:
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import os
+
+            def names(d):
+                return [n for n in os.listdir(d)]  # repro-lint: disable=all
+            """,
+        )
+        assert lint_paths([path], LintConfig.unscoped()).findings == []
+
+    def test_multiple_codes_one_comment(self, tmp_path: Path) -> None:
+        path = _write(
+            tmp_path,
+            "mod.py",
+            """
+            import os
+
+            def first(d):
+                for n in set(os.listdir(d)):  # repro-lint: disable=RPL101, RPL105
+                    return n
+            """,
+        )
+        assert lint_paths([path], LintConfig.unscoped()).findings == []
+
+
+class TestScoping:
+    def test_path_matches_patterns(self) -> None:
+        assert path_matches("**", "anything/at/all.py")
+        assert path_matches("repro/sim/**", "repro/sim/network.py")
+        assert path_matches("repro/sim/**", "repro/sim/sub/deep.py")
+        assert not path_matches("repro/sim/**", "repro/mac/dcf.py")
+        assert path_matches("repro/engine.py", "repro/engine.py")
+        assert not path_matches("repro/engine.py", "repro/engine_extra.py")
+
+    def test_scope_path_anchors_at_repro_segment(self) -> None:
+        parts = ("/", "home", "x", "src", "repro", "sim", "network.py")
+        assert scope_path(parts, "fallback") == "repro/sim/network.py"
+        assert scope_path(("a", "b.py"), "b.py") == "b.py"
+
+    def test_rule_only_fires_inside_its_scope(self, tmp_path: Path) -> None:
+        wall_clock = """
+        import time
+
+        def stamp():
+            return time.time()
+        """
+        _write(tmp_path, "repro/sim/clock.py", wall_clock)
+        _write(tmp_path, "repro/experiment/batch_timing.py", wall_clock)
+        report = lint_paths([tmp_path], LintConfig.default())
+        findings = [f for f in report.findings if f.code == "RPL104"]
+        assert len(findings) == 1
+        assert "repro/sim/clock.py" in findings[0].path.replace("\\", "/")
+
+    def test_excludes_beat_includes(self, tmp_path: Path) -> None:
+        path = _write(tmp_path, "repro/sim/clock.py", "import time\nt = time.time()\n")
+        config = LintConfig(
+            rule_scopes={"RPL104": ("repro/sim/**",)},
+            rule_excludes={"RPL104": ("repro/sim/clock.py",)},
+        )
+        assert lint_paths([path], config).findings == []
+
+
+class TestReportAndCli:
+    def test_json_output_schema(self, tmp_path: Path) -> None:
+        _write(tmp_path, "mod.py", HASH_VIOLATION)
+        result = _cli(str(tmp_path), "--format", "json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["version"] == 1
+        assert payload["files_scanned"] == 1
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["by_code"] == {"RPL101": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+        assert finding["code"] == "RPL101"
+        assert finding["line"] == 2
+
+    def test_exit_zero_on_clean_tree(self, tmp_path: Path) -> None:
+        _write(tmp_path, "mod.py", "x = 1\n")
+        result = _cli(str(tmp_path))
+        assert result.returncode == 0
+        assert "clean" in result.stdout
+
+    def test_exit_two_on_missing_path(self) -> None:
+        result = _cli("no/such/path")
+        assert result.returncode == 2
+        assert "error" in result.stderr
+
+    def test_select_and_disable_filter_codes(self, tmp_path: Path) -> None:
+        _write(
+            tmp_path,
+            "mod.py",
+            """
+            import os
+
+            def key(name):
+                return hash(name)
+
+            def names(d):
+                return [n for n in os.listdir(d)]
+            """,
+        )
+        selected = _cli(str(tmp_path), "--select", "RPL101", "--format", "json")
+        assert json.loads(selected.stdout)["summary"]["by_code"] == {"RPL101": 1}
+        disabled = _cli(str(tmp_path), "--disable", "RPL101", "--format", "json")
+        assert "RPL101" not in json.loads(disabled.stdout)["summary"]["by_code"]
+
+    def test_rules_listing(self) -> None:
+        result = _cli("--rules")
+        assert result.returncode == 0
+        for code in ("RPL101", "RPL105", "RPL201", "RPL301"):
+            assert code in result.stdout
+
+    def test_parse_error_is_a_finding(self, tmp_path: Path) -> None:
+        _write(tmp_path, "broken.py", "def broken(:\n")
+        report = lint_paths([tmp_path], LintConfig.unscoped())
+        assert [f.code for f in report.findings] == [PARSE_ERROR_CODE]
+        result = _cli(str(tmp_path))
+        assert result.returncode == 1
+
+    def test_findings_are_sorted_and_deduplicated(self, tmp_path: Path) -> None:
+        _write(tmp_path, "b.py", HASH_VIOLATION)
+        _write(tmp_path, "a.py", HASH_VIOLATION)
+        report = lint_paths([tmp_path, tmp_path], LintConfig.unscoped())
+        rendered = [f.render() for f in report.findings]
+        assert rendered == sorted(rendered)
+        assert len(report.findings) == 2  # double-scan does not double-report
+
+
+class TestSrcTreeIsClean:
+    """The acceptance gate, as a tier-1 test: the real tree lints clean
+    under the production config."""
+
+    def test_src_lints_clean(self) -> None:
+        config = LintConfig(
+            rule_scopes=LintConfig.default().rule_scopes,
+            rule_excludes=LintConfig.default().rule_excludes,
+            blessed_unlink_functions=LintConfig.default().blessed_unlink_functions,
+            schema_fingerprint_path=str(
+                REPO / "tests" / "experiment" / "golden"
+                / "spec_schema_fingerprint.json"
+            ),
+        )
+        report = lint_paths([REPO / "src"], config)
+        assert report.findings == [], "\n".join(
+            f.render() for f in report.findings
+        )
