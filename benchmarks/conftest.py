@@ -16,6 +16,14 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 
+#: Cold/warm wall clocks of every figure benchmark that went through
+#: :func:`run_cold_then_warm`, keyed by benchmarked test name.  Collected
+#: here (the one choke point that times figure sweeps) so that
+#: ``test_sim_core.py`` — which sorts after the ``test_fig*`` modules —
+#: can fold the session's figure timings into ``BENCH_sim.json``.
+FIGURE_WALL_CLOCKS: dict[str, dict[str, float]] = {}
+
+
 def run_once(benchmark, func):
     """Run ``func`` exactly once under pytest-benchmark and return its result."""
     return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
@@ -39,6 +47,10 @@ def run_cold_then_warm(benchmark, func, cache):
     start = time.perf_counter()
     warm = func()
     warm_wall_s = time.perf_counter() - start
+    FIGURE_WALL_CLOCKS[benchmark.name] = {
+        "cold_wall_s": round(cold_wall_s, 3),
+        "warm_wall_s": round(warm_wall_s, 3),
+    }
     benchmark.extra_info["result_cache"] = {
         "cold_wall_s": round(cold_wall_s, 3),
         "warm_wall_s": round(warm_wall_s, 3),

@@ -1,0 +1,230 @@
+"""Simulation-core throughput — the hot path's speed, as data.
+
+Not a paper figure: a harness figure.  This PR's fast path (precomputed
+pairwise power tables, tuple-packed event heap, fused carrier-sense
+update loops) is justified by wall clock alone — behaviour is pinned
+byte-identical by the experiment goldens and the sim trace goldens — so
+the wall clock must be recorded where regressions show up as data, not
+vibes.  Three rates land in ``BENCH_sim.json`` next to the other
+``BENCH_*.json`` records:
+
+* ``engine_events_per_s`` — raw kernel dispatch (schedule + pop + call
+  of trivial callbacks), the ceiling everything else sits under;
+* ``mesh_events_per_s`` — full-stack event rate (DCF + medium + PHY +
+  transport) on a contended chain;
+* ``fig14_cell_cold_wall_s`` — one cold Figure 14 cell end to end, the
+  unit the figure grids are made of.
+
+When the full benchmark suite runs, the cold/warm wall clocks of the
+Figure 13/14 sweeps (recorded by ``conftest.run_cold_then_warm`` into
+``FIGURE_WALL_CLOCKS``; the ``test_fig*`` modules sort before this one)
+are folded in as well and compared against the pre-optimization
+baselines pinned below.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import FIGURE_WALL_CLOCKS, run_once
+
+from repro.analysis import ExperimentReport
+from repro.experiment import (
+    ControllerSpec,
+    ExperimentSpec,
+    ProbingSpec,
+    ScenarioSpec,
+    run_experiment,
+)
+from repro.sim import MeshNetwork, Simulator, chain_topology
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sim.json"
+
+#: Cold wall clocks measured on this harness immediately before the
+#: fast-path PR (commit 90a51a0), same benchmarks, same machine class.
+#: The acceptance bar for the optimization work was >=2x on the cold
+#: Figure 14 grid.  Single-run timings on a shared box carry ~20% noise;
+#: judge regressions on the trend, not one sample.
+BASELINE_PRE_PR = {
+    "fig13_cold_wall_s": 1.1,
+    "fig14_cold_wall_s": 22.5,
+    "fig14_cell_cold_wall_s": 1.977,
+}
+
+#: One Figure 14 grid cell (random_multiflow / tcp / Prop variant) —
+#: the repeated unit whose cost dominates the figure sweeps.
+FIG14_CELL = ExperimentSpec(
+    scenario=ScenarioSpec(
+        scenario="random_multiflow",
+        transport="tcp",
+        run_seed=1000,
+        seed=7,
+        num_flows=3,
+        rate_mode="11",
+    ),
+    probing=ProbingSpec(warmup_s=45.0),
+    controller=ControllerSpec(alpha=1.0, probing_window=80, payload_bytes=1460),
+    cycles=1,
+    cycle_measure_s=12.0,
+    settle_s=2.0,
+    label="sim-core-fig14-cell",
+)
+
+ENGINE_EVENTS = 200_000
+MESH_SIM_SECONDS = 2.0
+
+
+def _engine_dispatch_rate() -> tuple[float, int]:
+    """Raw kernel throughput: self-rescheduling trivial callbacks."""
+    sim = Simulator()
+    remaining = ENGINE_EVENTS
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(1e-6, tick)
+    start = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - start
+    return ENGINE_EVENTS / wall_s, sim.processed_events
+
+
+def _mesh_event_rate() -> tuple[float, int]:
+    """Full-stack throughput: contended 5-node chain, backlogged UDP."""
+    net = MeshNetwork(chain_topology(5), seed=3)
+    net.add_udp_flow([0, 1, 2, 3, 4]).start()
+    net.add_udp_flow([4, 3, 2]).start()
+    start = time.perf_counter()
+    net.run(MESH_SIM_SECONDS)
+    wall_s = time.perf_counter() - start
+    return net.sim.processed_events / wall_s, net.sim.processed_events
+
+
+def test_sim_core_throughput(benchmark):
+    record: dict[str, object] = {}
+
+    def measure() -> dict[str, object]:
+        engine_rate, engine_events = _engine_dispatch_rate()
+        mesh_rate, mesh_events = _mesh_event_rate()
+        start = time.perf_counter()
+        run_experiment(FIG14_CELL, keep_decisions=False, cache=False)
+        cell_wall_s = time.perf_counter() - start
+        record.update(
+            {
+                "engine_events_per_s": round(engine_rate),
+                "engine_events": engine_events,
+                "mesh_events_per_s": round(mesh_rate),
+                "mesh_events": mesh_events,
+                "fig14_cell_cold_wall_s": round(cell_wall_s, 3),
+                "fig14_cell_speedup_vs_pre_pr": round(
+                    BASELINE_PRE_PR["fig14_cell_cold_wall_s"] / cell_wall_s, 2
+                ),
+            }
+        )
+        return record
+
+    run_once(benchmark, measure)
+
+    # Fold in the figure sweeps' timings when they ran this session (the
+    # test_fig* modules sort before this one; absent on a partial run).
+    figures: dict[str, dict[str, float]] = {}
+    for test_name, short in (
+        ("test_fig13_tcp_starvation", "fig13"),
+        ("test_fig14_tcp_multiflow", "fig14"),
+    ):
+        walls = FIGURE_WALL_CLOCKS.get(test_name)
+        if walls is None:
+            continue
+        figures[short] = dict(walls)
+        baseline = BASELINE_PRE_PR[f"{short}_cold_wall_s"]
+        figures[short]["speedup_vs_pre_pr"] = round(
+            baseline / max(walls["cold_wall_s"], 1e-9), 2
+        )
+
+    #: Cold fig14-cell trajectory across the optimization stages, as
+    #: measured during the fast-path work (medians of 5, ~20% box noise).
+    stages = [
+        {"stage": "pre-PR baseline", "fig14_cell_cold_s": 1.977},
+        {
+            "stage": "precomputed power tables + PER/airtime memos",
+            "fig14_cell_cold_s": 1.42,
+        },
+        {
+            "stage": "tuple-packed event heap + __slots__ events",
+            "fig14_cell_cold_s": 1.115,
+        },
+        {
+            "stage": "fused sensed/busy loops + buffered RNG + slots frames",
+            "fig14_cell_cold_s": 0.97,
+        },
+    ]
+
+    benchmark.extra_info["sim_core"] = record
+    benchmark.extra_info["figures"] = figures
+    benchmark.extra_info["optimization_stages"] = stages
+
+    BENCH_PATH.write_text(
+        json.dumps(
+            {
+                "baseline_pre_pr": BASELINE_PRE_PR,
+                "engine_events_per_s": record["engine_events_per_s"],
+                "mesh_events_per_s": record["mesh_events_per_s"],
+                "fig14_cell_cold_wall_s": record["fig14_cell_cold_wall_s"],
+                "fig14_cell_speedup_vs_pre_pr": record[
+                    "fig14_cell_speedup_vs_pre_pr"
+                ],
+                "figures": figures,
+                "optimization_stages": stages,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    report = ExperimentReport(
+        "Simulation core throughput (harness figure)",
+        "raw kernel, full-stack chain, and one cold Figure 14 cell",
+    )
+    report.add_comparison(
+        "engine dispatch",
+        "O(1) heap ops, no per-event allocation",
+        f"{record['engine_events_per_s']:,} events/s",
+    )
+    report.add_comparison(
+        "full stack (5-node chain)",
+        "precomputed power tables, fused CS updates",
+        f"{record['mesh_events_per_s']:,} events/s",
+    )
+    report.add_comparison(
+        "cold fig14 cell",
+        f"<= {BASELINE_PRE_PR['fig14_cell_cold_wall_s'] / 2:.2f}s (2x pre-PR)",
+        f"{record['fig14_cell_cold_wall_s']:.2f}s "
+        f"({record['fig14_cell_speedup_vs_pre_pr']:.2f}x)",
+    )
+    report.emit()
+
+    # The speed must never have been bought with behaviour: the sim-level
+    # goldens re-assert byte-identity right here in the bench run.
+    import importlib.util
+
+    golden_dir = (
+        Path(__file__).resolve().parents[1] / "tests" / "sim" / "golden"
+    )
+    spec = importlib.util.spec_from_file_location(
+        "sim_golden_regenerate_bench", golden_dir / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    for name in module.GOLDEN_SCENARIOS:
+        trace_record, _ = module.compute(name)
+        frozen = module.golden_path(name).read_text(encoding="utf-8")
+        assert module.canonical_json(trace_record) == frozen, (
+            f"sim trace {name!r} drifted during benchmarking"
+        )

@@ -1,13 +1,26 @@
 """Discrete-event simulation kernel.
 
-A minimal, dependency-free event scheduler: events are (time, sequence,
-callback) triples kept in a binary heap.  Cancellation is handled lazily
-by flagging the event and skipping it when popped, which keeps both
-``schedule`` and ``cancel`` O(log n) / O(1).
+A minimal, dependency-free event scheduler: the heap holds plain
+``(time, seq, Event)`` tuples so every heap comparison happens at C
+level (``seq`` is unique, so the ``Event`` object itself is never
+compared).  Cancellation is handled lazily by flagging the event and
+skipping it when popped, which keeps both ``schedule`` and ``cancel``
+O(log n) / O(1); the simulator counts cancelled-but-queued entries and
+compacts the heap in place once they dominate it, so a workload that
+schedules and cancels in a loop cannot grow the heap without bound.
 
 Every stochastic component of the simulator draws from RNG streams
 derived from the simulator seed, so a given scenario replays identically
 across runs — a property the test suite and benchmark harness rely on.
+
+Profiling: the run loop has a duck-typed hook (see
+:mod:`repro.sim.profile`).  When a profiler is installed — per instance
+via :attr:`Simulator.profiler` or process-wide via
+:func:`set_default_profiler` — the loop times each callback with the
+profiler's own clock and reports ``(callback, elapsed)`` pairs to it.
+The engine itself never touches a wall clock (lint rule RPL104); the
+clock lives in the profiler module, which is the one sanctioned
+exclusion.
 """
 
 from __future__ import annotations
@@ -15,10 +28,32 @@ from __future__ import annotations
 import heapq
 import itertools
 import zlib
-from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+#: Compaction policy: rebuild the heap when more than this many entries
+#: are cancelled AND they make up over half the heap.  The absolute
+#: floor keeps tiny heaps from compacting on every cancel; the fraction
+#: bounds memory at ~2x the live event count.
+_COMPACT_MIN_CANCELLED = 64
+
+#: Process-wide fallback profiler (see :func:`set_default_profiler`).
+_DEFAULT_PROFILER = None
+
+
+def set_default_profiler(profiler) -> object:
+    """Install ``profiler`` as the fallback for every :class:`Simulator`.
+
+    Returns the previous default so callers can restore it.  Simulators
+    with an explicit :attr:`Simulator.profiler` keep their own.  The
+    profiler is duck-typed: it needs a ``clock()`` returning seconds as
+    a float and a ``record(callback, elapsed_s)`` method.
+    """
+    global _DEFAULT_PROFILER
+    previous = _DEFAULT_PROFILER
+    _DEFAULT_PROFILER = profiler
+    return previous
 
 
 def rng_spawn_key(name: str) -> int:
@@ -32,18 +67,34 @@ def rng_spawn_key(name: str) -> int:
     return zlib.crc32(name.encode("utf-8"))
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: "Simulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time arrives."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(time={self.time!r}, seq={self.seq}{state})"
 
 
 class Simulator:
@@ -58,11 +109,14 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.seed = seed
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._rng = np.random.default_rng(seed)
         self._streams: dict[str, np.random.Generator] = {}
         self._processed = 0
+        self._cancelled_pending = 0
+        #: Optional per-instance profiler (duck-typed, see module docs).
+        self.profiler = None
 
     # ------------------------------------------------------------------ RNG
     def rng_stream(self, name: str) -> np.random.Generator:
@@ -76,45 +130,109 @@ class Simulator:
     # ------------------------------------------------------------ scheduling
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute virtual time ``time``."""
-        if time < self.now - 1e-12:
-            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        event = Event(time=max(time, self.now), seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        now = self.now
+        if time < now:
+            if time < now - 1e-12:
+                raise ValueError(f"cannot schedule in the past: {time} < {now}")
+            time = now
+        seq = next(self._counter)
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        return self.schedule_at(self.now + delay, callback)
+        time = self.now + delay
+        seq = next(self._counter)
+        event = Event(time, seq, callback, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        return event
+
+    # ----------------------------------------------------------- cancellation
+    def _note_cancelled(self) -> None:
+        """Account a newly cancelled queued event; compact when they dominate."""
+        self._cancelled_pending = cancelled = self._cancelled_pending + 1
+        heap = self._heap
+        if cancelled > _COMPACT_MIN_CANCELLED and cancelled * 2 > len(heap):
+            # In-place rebuild so any live alias of the heap list (the
+            # run loop holds one) stays valid.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled_pending = 0
 
     # --------------------------------------------------------------- running
     def run_until(self, end_time: float) -> None:
         """Process events in order until virtual time reaches ``end_time``."""
-        while self._heap and self._heap[0].time <= end_time:
-            event = heapq.heappop(self._heap)
+        profiler = self.profiler if self.profiler is not None else _DEFAULT_PROFILER
+        if profiler is not None:
+            self._run_until_profiled(end_time, profiler)
+            return
+        heap = self._heap
+        pop = heapq.heappop
+        processed = self._processed
+        try:
+            while heap and heap[0][0] <= end_time:
+                time, _seq, event = pop(heap)
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                self.now = time
+                processed += 1
+                event.callback()
+        finally:
+            self._processed = processed
+        if end_time > self.now:
+            self.now = end_time
+
+    def _run_until_profiled(self, end_time: float, profiler) -> None:
+        """The run loop with per-callback timing via ``profiler``.
+
+        Kept separate so the unprofiled loop pays nothing; the clock is
+        the profiler's own (the engine stays wall-clock free).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        clock = profiler.clock
+        record = profiler.record
+        while heap and heap[0][0] <= end_time:
+            time, _seq, event = pop(heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self.now = event.time
+            self.now = time
             self._processed += 1
-            event.callback()
-        self.now = max(self.now, end_time)
+            callback = event.callback
+            start = clock()
+            callback()
+            record(callback, clock() - start)
+        if end_time > self.now:
+            self.now = end_time
 
     def run(self) -> None:
         """Process every pending event (use with care: sources that
         reschedule themselves forever will never drain)."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, event = pop(heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
-            self.now = event.time
+            self.now = time
             self._processed += 1
             event.callback()
 
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
+
+    @property
+    def queued_entries(self) -> int:
+        """Raw heap size including lazily-cancelled entries (diagnostics)."""
+        return len(self._heap)
 
     @property
     def processed_events(self) -> int:

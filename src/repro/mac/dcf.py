@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional
 
 from repro.mac.constants import ACK_FRAME_BYTES, DEFAULT_MAC_CONFIG, MacConfig
@@ -97,6 +98,18 @@ class DcfMac:
         self._ack_timeout_event: Event | None = None
         self._transmitting = False
         self._pending_control: deque[Frame] = deque()
+        # Hot-path constants and bindings.  ``config`` and ``ack_rate``
+        # are fixed for the MAC's lifetime, so the derived timings are
+        # computed once — by the same expressions the per-frame code
+        # used, so the floats are bit-identical.
+        self._difs_s = config.difs_s
+        self._slot_s = config.slot_s
+        self._ack_timeout_s = (
+            config.sifs_s
+            + frame_airtime(ACK_FRAME_BYTES, ack_rate)
+            + config.ack_timeout_slack_s
+        )
+        self._medium_is_busy = medium.is_busy
         medium.register_mac(node_id, self)
 
     # ------------------------------------------------------------- queueing
@@ -145,29 +158,26 @@ class DcfMac:
             or self._waiting_ack
         ):
             return
-        if self.medium.is_busy(self.node_id):
+        if self._medium_is_busy(self.node_id):
             return
         self._access_idle_start = self.sim.now
-        delay = self.config.difs_s + self._backoff_slots * self.config.slot_s
+        delay = self._difs_s + self._backoff_slots * self._slot_s
         self._access_event = self.sim.schedule(delay, self._transmit_current)
 
     def on_medium_busy(self) -> None:
         """Carrier sense went busy: freeze the backoff countdown."""
-        if self._access_event is None:
+        event = self._access_event
+        if event is None:
             return
-        elapsed = self.sim.now - self._access_idle_start - self.config.difs_s
+        elapsed = self.sim.now - self._access_idle_start - self._difs_s
         if elapsed > 0:
-            consumed = int(elapsed / self.config.slot_s)
+            consumed = int(elapsed / self._slot_s)
             self._backoff_slots = max(0, self._backoff_slots - consumed)
-        self._access_event.cancel()
+        event.cancel()
         self._access_event = None
 
     def on_medium_idle(self) -> None:
         """Carrier sense went idle: resume (or start) channel access."""
-        if self._pending_control and not self._transmitting:
-            # Control responses take precedence but never pre-empt an
-            # ongoing transmission.
-            pass
         self._try_access()
 
     def _transmit_current(self) -> None:
@@ -196,12 +206,7 @@ class DcfMac:
             return
         # Unicast DATA: wait for the ACK.
         self._waiting_ack = True
-        timeout = (
-            self.config.sifs_s
-            + frame_airtime(ACK_FRAME_BYTES, self.ack_rate)
-            + self.config.ack_timeout_slack_s
-        )
-        self._ack_timeout_event = self.sim.schedule(timeout, self._on_ack_timeout)
+        self._ack_timeout_event = self.sim.schedule(self._ack_timeout_s, self._on_ack_timeout)
 
     def on_frame_received(self, frame: Frame, from_id: int) -> None:
         """The medium successfully delivered a frame to this station."""
@@ -221,7 +226,7 @@ class DcfMac:
         if frame.kind is FrameKind.DATA and frame.dst == self.node_id:
             self.stats.data_received += 1
             ack = make_ack(frame, ACK_FRAME_BYTES, self.ack_rate)
-            self.sim.schedule(self.config.sifs_s, lambda: self._send_control(ack))
+            self.sim.schedule(self.config.sifs_s, partial(self._send_control, ack))
             if self.rx_callback is not None:
                 self.rx_callback(frame.payload, from_id, frame)
             return

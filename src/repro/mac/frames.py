@@ -27,8 +27,14 @@ class FrameKind(Enum):
     ACK = "ack"
     BROADCAST = "broadcast"
 
+    # Identity hash instead of Enum's name-based Python-level __hash__:
+    # members are singletons, so this is equivalent for dict keys (and
+    # dict iteration order stays insertion-ordered regardless of hash),
+    # but it keeps the per-delivery counter lookups out of Python code.
+    __hash__ = object.__hash__
 
-@dataclass
+
+@dataclass(slots=True)
 class Frame:
     """A MAC frame in flight.
 
@@ -50,7 +56,7 @@ class Frame:
     rate: PhyRate
     payload: Any = None
     retries: int = 0
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = field(default_factory=_frame_ids.__next__)
 
     @property
     def is_broadcast(self) -> bool:

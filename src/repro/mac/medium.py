@@ -15,19 +15,37 @@ losses:
 ``weak``         received power below the modulation's sensitivity,
 ``collision``    SINR below the capture threshold (overlap loss),
 ``channel``      independent channel error (the residual loss process).
+
+Performance note: node positions are frozen at construction, so every
+pairwise received power (dBm and mW) is precomputed into symmetric
+numpy matrices up front.  Each value is produced by the *same scalar
+formula* the lazy per-call path used, so the fast path is bit-identical
+to the original — the experiment goldens and the sim-level trace goldens
+under ``tests/sim/golden`` are the proof.  The per-event bookkeeping
+(carrier-sense energy in ``_sensed_mw``, interference add/remove)
+deliberately runs on plain-float mirrors of those matrices (nested
+dicts and row lists): at mesh sizes (tens of nodes) numpy element reads
+box a ``np.float64`` per access and ufunc dispatch dominates 18-element
+vector ops, which sampling profiles showed to be *slower* than scalar
+loops over precomputed Python floats.  The matrices stay the canonical
+tables — the mirrors are derived from them via ``tolist()`` (exact) and
+the property suite asserts both agree to the bit.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Protocol
+
+import numpy as np
 
 from repro.phy.error_models import BerPacketErrorModel, ErrorModel
 from repro.phy.propagation import LogDistancePathLoss, PropagationModel, dbm_to_mw
 from repro.phy.radio import RadioConfig, frame_airtime
 from repro.phy.sinr import CaptureModel
-from repro.mac.frames import Frame
+from repro.mac.frames import BROADCAST_ADDR, Frame, FrameKind
 from repro.engine import Simulator
 
 
@@ -43,7 +61,7 @@ class MacListener(Protocol):
     def on_transmission_end(self, frame: Frame) -> None: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class _Reception:
     """Tracks one intended receiver of an ongoing transmission."""
 
@@ -60,7 +78,7 @@ class _Reception:
         self.cur_interference_mw = max(0.0, self.cur_interference_mw - power_mw)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Transmission:
     """An ongoing transmission and the state of its intended receivers."""
 
@@ -76,7 +94,9 @@ class WirelessMedium:
 
     Args:
         sim: the discrete-event simulator driving virtual time.
-        positions: node id -> (x, y) coordinates in metres.
+        positions: node id -> (x, y) coordinates in metres.  Positions
+            are frozen at construction: the pairwise power tables are
+            built once from them.
         radio: common radio configuration (tx power, CS threshold, gains).
         propagation: path-loss model.
         error_model: residual channel error model applied to frames that
@@ -106,21 +126,100 @@ class WirelessMedium:
         self.capture = capture or CaptureModel()
         self.link_error_override = dict(link_error_override or {})
         self._macs: dict[int, MacListener] = {}
+        #: MAC notification order: (node_id, mac, index) in registration
+        #: order, mirroring the dict iteration the scalar path used.
+        self._mac_entries: list[tuple[int, MacListener, int]] = []
         self._ongoing: dict[int, _Transmission] = {}
         self._transmitting: set[int] = set()
-        self._sensed_mw: dict[int, float] = {node: 0.0 for node in positions}
-        self._busy_state: dict[int, bool] = {node: False for node in positions}
-        self._rx_power_cache: dict[tuple[int, int], float] = {}
-        self._rng = sim.rng_stream("medium")
         self.loss_counts: Counter[str] = Counter()
         self.delivered_frames = 0
         self.frame_observers: list[Callable[[Frame, int, bool, str | None], None]] = []
+        self._rng = sim.rng_stream("medium")
+        # Buffered uniform draws: ``Generator.random(n)`` produces the
+        # exact same stream as n scalar ``random()`` calls, so refilling
+        # in blocks keeps the draw sequence bit-identical while paying
+        # the numpy call overhead once per block.
+        self._rand_buf: list[float] = []
+        self._rand_pos = 0
+        self._per_cache: dict[tuple[int, int, float, int], float] = {}
+        self._airtime_cache: dict[tuple[int, float], float] = {}
+        self._build_power_tables()
+
+    def _build_power_tables(self) -> None:
+        """Precompute every pairwise received power once.
+
+        Each entry is computed by the exact scalar expression the lazy
+        path used (``tx_power + 2*gain - path_loss`` then ``dbm_to_mw``),
+        so matrix reads are bit-identical to on-demand recomputation.
+        Shadowing draws are keyed per pair (not by draw order), so eager
+        evaluation yields the same values lazy evaluation did.
+        """
+        ids = list(self.positions)
+        self._node_ids = ids
+        index = {node: i for i, node in enumerate(ids)}
+        self._node_index = index
+        n = len(ids)
+        eirp = self.radio.tx_power_dbm + 2.0 * self.radio.antenna_gain_dbi
+        power_dbm = np.empty((n, n), dtype=np.float64)
+        power_mw = np.empty((n, n), dtype=np.float64)
+        pow_dbm_map: dict[tuple[int, int], float] = {}
+        pow_mw_map: dict[tuple[int, int], float] = {}
+        pow_dbm_from: dict[int, dict[int, float]] = {}
+        pow_mw_from: dict[int, dict[int, float]] = {}
+        snr_from: dict[int, dict[int, float]] = {}
+        noise_dbm = self.capture.noise_floor_dbm
+        for i, a in enumerate(ids):
+            row_dbm = pow_dbm_from[a] = {}
+            row_mw = pow_mw_from[a] = {}
+            row_snr = snr_from[a] = {}
+            for j, b in enumerate(ids):
+                dbm = eirp - self.propagation.path_loss_db(self.distance(a, b), (a, b))
+                mw = dbm_to_mw(dbm)
+                power_dbm[i, j] = dbm
+                power_mw[i, j] = mw
+                pow_dbm_map[(a, b)] = dbm
+                pow_mw_map[(a, b)] = mw
+                row_dbm[b] = dbm
+                row_mw[b] = mw
+                row_snr[b] = dbm - noise_dbm
+        self._power_dbm = power_dbm
+        self._power_mw = power_mw
+        self._pow_dbm = pow_dbm_map
+        self._pow_mw = pow_mw_map
+        self._pow_dbm_from = pow_dbm_from
+        self._pow_mw_from = pow_mw_from
+        self._snr_from = snr_from
+        # Row i with the diagonal zeroed: what node i's transmission adds
+        # to every *other* node's sensed energy (a node never senses its
+        # own signal as foreign energy).  ``tolist()`` round-trips float64
+        # to Python floats exactly, so the scalar mirror carries the same
+        # bits as the matrix.
+        sensed_rows = power_mw.copy()
+        np.fill_diagonal(sensed_rows, 0.0)
+        self._sensed_rows = sensed_rows.tolist()
+        self._sensed_mw = [0.0] * n
+        self._busy_state = [False] * n
+        self._cs_threshold_mw = dbm_to_mw(self.radio.cs_threshold_dbm)
+        # One end-of-transmission callback per node, built once instead
+        # of a fresh closure per frame.
+        self._finish_callbacks = {
+            node: partial(self._finish_transmission, node) for node in ids
+        }
 
     # ------------------------------------------------------------ registration
     def register_mac(self, node_id: int, mac: MacListener) -> None:
         """Attach the MAC entity of ``node_id`` so it receives callbacks."""
         if node_id not in self.positions:
             raise KeyError(f"node {node_id} has no position in the medium")
+        if node_id in self._macs:
+            # Re-registration replaces in place, keeping the original
+            # notification position (dict-overwrite semantics).
+            for k, (existing, _, idx) in enumerate(self._mac_entries):
+                if existing == node_id:
+                    self._mac_entries[k] = (node_id, mac, idx)
+                    break
+        else:
+            self._mac_entries.append((node_id, mac, self._node_index[node_id]))
         self._macs[node_id] = mac
 
     def add_frame_observer(
@@ -141,41 +240,40 @@ class WirelessMedium:
 
     def rx_power_dbm(self, tx: int, rx: int) -> float:
         """Received power at ``rx`` of a transmission from ``tx``."""
-        key = (tx, rx)
-        if key not in self._rx_power_cache:
-            loss = self.propagation.path_loss_db(self.distance(tx, rx), key)
-            power = (
-                self.radio.tx_power_dbm
-                + 2.0 * self.radio.antenna_gain_dbi
-                - loss
-            )
-            self._rx_power_cache[key] = power
-        return self._rx_power_cache[key]
+        return self._pow_dbm[(tx, rx)]
 
     def rx_power_mw(self, tx: int, rx: int) -> float:
-        return dbm_to_mw(self.rx_power_dbm(tx, rx))
+        return self._pow_mw[(tx, rx)]
+
+    def sensed_power_mw(self, node_id: int) -> float:
+        """Current carrier-sensed foreign energy at ``node_id`` (mW)."""
+        return self._sensed_mw[self._node_index[node_id]]
 
     def in_range(self, tx: int, rx: int, sensitivity_dbm: float) -> bool:
         """Whether ``rx`` can decode frames from ``tx`` absent interference."""
-        return self.rx_power_dbm(tx, rx) >= sensitivity_dbm
+        return self._pow_dbm[(tx, rx)] >= sensitivity_dbm
 
     def can_sense(self, a: int, b: int) -> bool:
         """Whether node ``a`` senses the channel busy while ``b`` transmits."""
-        return self.rx_power_dbm(b, a) >= self.radio.cs_threshold_dbm
+        return self._pow_dbm[(b, a)] >= self.radio.cs_threshold_dbm
 
     # ----------------------------------------------------------- carrier sense
     def is_busy(self, node_id: int) -> bool:
         """Local carrier-sense state of ``node_id``."""
         if node_id in self._transmitting:
             return True
-        return self._sensed_mw[node_id] >= dbm_to_mw(self.radio.cs_threshold_dbm)
+        return self._sensed_mw[self._node_index[node_id]] >= self._cs_threshold_mw
 
     def _refresh_busy_states(self) -> None:
         """Recompute busy flags and notify MACs whose state flipped."""
-        for node_id, mac in self._macs.items():
-            busy = self.is_busy(node_id)
-            if busy != self._busy_state[node_id]:
-                self._busy_state[node_id] = busy
+        sensed = self._sensed_mw
+        threshold = self._cs_threshold_mw
+        transmitting = self._transmitting
+        busy_state = self._busy_state
+        for node_id, mac, idx in self._mac_entries:
+            busy = node_id in transmitting or sensed[idx] >= threshold
+            if busy != busy_state[idx]:
+                busy_state[idx] = busy
                 if busy:
                     mac.on_medium_busy()
                 else:
@@ -186,10 +284,12 @@ class WirelessMedium:
         if not frame.is_broadcast:
             return [frame.dst] if frame.dst in self.positions else []
         receivers = []
-        for node in self.positions:
+        sensitivity = frame.rate.rx_sensitivity_dbm
+        row_dbm = self._pow_dbm_from[tx_id]
+        for node in self._node_ids:
             if node == tx_id:
                 continue
-            if self.in_range(tx_id, node, frame.rate.rx_sensitivity_dbm):
+            if row_dbm[node] >= sensitivity:
                 receivers.append(node)
         return receivers
 
@@ -210,14 +310,20 @@ class WirelessMedium:
         """
         if tx_id in self._transmitting:
             raise RuntimeError(f"node {tx_id} is already transmitting")
-        duration = frame_airtime(frame.size_bytes, frame.rate)
+        airtime_key = (frame.size_bytes, frame.rate.bps)
+        duration = self._airtime_cache.get(airtime_key)
+        if duration is None:
+            duration = self._airtime_cache[airtime_key] = frame_airtime(
+                frame.size_bytes, frame.rate
+            )
         now = self.sim.now
         transmission = _Transmission(tx_id=tx_id, frame=frame, start=now, end=now + duration)
+        row_mw = self._pow_mw_from[tx_id]
+        ongoing = self._ongoing
 
         # The new transmission interferes with, and may destroy, receptions
         # already in progress.
-        tx_power_cache: dict[int, float] = {}
-        for other in self._ongoing.values():
+        for other in ongoing.values():
             for rx_id, reception in other.receptions.items():
                 if rx_id == tx_id:
                     # Half duplex: a node cannot keep receiving once it starts
@@ -225,57 +331,137 @@ class WirelessMedium:
                     if reception.failure is None:
                         reception.failure = "half_duplex"
                     continue
-                power = tx_power_cache.get(rx_id)
-                if power is None:
-                    power = self.rx_power_mw(tx_id, rx_id)
-                    tx_power_cache[rx_id] = power
-                reception.add_interference(power)
+                reception.add_interference(row_mw[rx_id])
 
         # Build reception state for the new frame's intended receivers.
-        for rx_id in self._intended_receivers(tx_id, frame):
-            reception = _Reception(signal_dbm=self.rx_power_dbm(tx_id, rx_id))
+        # The unicast case is inlined (one receiver, no sensitivity scan).
+        if frame.dst != BROADCAST_ADDR and frame.kind is not FrameKind.BROADCAST:
+            receivers = [frame.dst] if frame.dst in self.positions else []
+        else:
+            receivers = self._intended_receivers(tx_id, frame)
+        row_dbm = self._pow_dbm_from[tx_id]
+        pow_mw_from = self._pow_mw_from
+        for rx_id in receivers:
+            reception = _Reception(signal_dbm=row_dbm[rx_id])
             if rx_id in self._transmitting:
                 reception.failure = "half_duplex"
             elif self._receiver_is_locked(rx_id):
                 reception.failure = "rx_locked"
             interference = 0.0
-            for other in self._ongoing.values():
-                interference += self.rx_power_mw(other.tx_id, rx_id)
+            for other in ongoing.values():
+                interference += pow_mw_from[other.tx_id][rx_id]
             reception.cur_interference_mw = interference
             reception.peak_interference_mw = interference
             transmission.receptions[rx_id] = reception
 
-        self._ongoing[tx_id] = transmission
-        self._transmitting.add(tx_id)
-        for node in self.positions:
-            if node != tx_id:
-                self._sensed_mw[node] += self.rx_power_mw(tx_id, node)
-        self._refresh_busy_states()
-        self.sim.schedule(duration, lambda: self._finish_transmission(tx_id))
+        ongoing[tx_id] = transmission
+        transmitting = self._transmitting
+        transmitting.add(tx_id)
+        # Add this transmitter's row into every node's sensed energy and
+        # notify busy/idle flips in one fused pass.  Adding 0.0 (the
+        # diagonal) is a bitwise no-op on the non-negative sensed values.
+        # Each node's flip depends only on its own sensed entry, and the
+        # MAC handlers never read another node's carrier-sense state, so
+        # fusing update and notification is observationally identical to
+        # the two-pass form (which remains as the fallback when some
+        # nodes have no registered MAC).
+        row = self._sensed_rows[self._node_index[tx_id]]
+        sensed = self._sensed_mw
+        entries = self._mac_entries
+        if len(entries) == len(row):
+            threshold = self._cs_threshold_mw
+            busy_state = self._busy_state
+            for node_id, mac, j in entries:
+                p = row[j]
+                if p:
+                    sensed[j] = s = sensed[j] + p
+                else:
+                    s = sensed[j]
+                busy = node_id in transmitting or s >= threshold
+                if busy != busy_state[j]:
+                    busy_state[j] = busy
+                    if busy:
+                        mac.on_medium_busy()
+                    else:
+                        mac.on_medium_idle()
+        else:
+            for j, p in enumerate(row):
+                if p:
+                    sensed[j] += p
+            self._refresh_busy_states()
+        self.sim.schedule(duration, self._finish_callbacks[tx_id])
         return duration
 
     def _finish_transmission(self, tx_id: int) -> None:
         transmission = self._ongoing.pop(tx_id)
-        self._transmitting.discard(tx_id)
-        for node in self.positions:
-            if node != tx_id:
-                self._sensed_mw[node] = max(
-                    0.0, self._sensed_mw[node] - self.rx_power_mw(tx_id, node)
-                )
+        transmitting = self._transmitting
+        transmitting.discard(tx_id)
+        # Remove this transmitter's row from every node's sensed energy
+        # (clamped at zero, as the incremental float bookkeeping always
+        # was) and notify busy/idle flips in the same fused pass as
+        # ``begin_transmission``.
+        row = self._sensed_rows[self._node_index[tx_id]]
+        sensed = self._sensed_mw
+        entries = self._mac_entries
+        if len(entries) == len(row):
+            threshold = self._cs_threshold_mw
+            busy_state = self._busy_state
+            for node_id, mac, j in entries:
+                p = row[j]
+                if p:
+                    v = sensed[j] - p
+                    sensed[j] = s = v if v > 0.0 else 0.0
+                else:
+                    s = sensed[j]
+                busy = node_id in transmitting or s >= threshold
+                if busy != busy_state[j]:
+                    busy_state[j] = busy
+                    if busy:
+                        mac.on_medium_busy()
+                    else:
+                        mac.on_medium_idle()
+        else:
+            for j, p in enumerate(row):
+                if p:
+                    v = sensed[j] - p
+                    sensed[j] = v if v > 0.0 else 0.0
+            self._refresh_busy_states()
         # Ongoing receptions no longer suffer this transmitter's interference.
+        row_mw = self._pow_mw_from[tx_id]
         for other in self._ongoing.values():
             for rx_id, reception in other.receptions.items():
                 if rx_id != tx_id:
-                    reception.remove_interference(self.rx_power_mw(tx_id, rx_id))
+                    reception.remove_interference(row_mw[rx_id])
 
-        self._refresh_busy_states()
         self._deliver(transmission)
         mac = self._macs.get(tx_id)
         if mac is not None:
             mac.on_transmission_end(transmission.frame)
 
     # -------------------------------------------------------------- reception
+    def _draw_uniform(self) -> float:
+        """Next value of the medium's uniform RNG stream (buffered)."""
+        pos = self._rand_pos
+        buf = self._rand_buf
+        if pos >= len(buf):
+            buf = self._rand_buf = self._rng.random(256).tolist()
+            pos = 0
+        self._rand_pos = pos + 1
+        return buf[pos]
+
     def _channel_error_probability(self, tx_id: int, rx_id: int, frame: Frame) -> float:
+        # Link SNRs are frozen with the positions, so the residual error
+        # probability is a constant per (link, rate, length) — memoised
+        # here to keep the error model out of the per-frame path.
+        key = (tx_id, rx_id, frame.rate.bps, frame.size_bytes)
+        per = self._per_cache.get(key)
+        if per is None:
+            per = self._per_cache[key] = self._compute_channel_error_probability(
+                tx_id, rx_id, frame
+            )
+        return per
+
+    def _compute_channel_error_probability(self, tx_id: int, rx_id: int, frame: Frame) -> float:
         override = self.link_error_override.get((tx_id, rx_id))
         if override is not None:
             # The override is specified for a nominal 1500-byte frame;
@@ -286,24 +472,30 @@ class WirelessMedium:
                 return 1.0
             ber = 1.0 - (1.0 - override) ** (1.0 / reference_bits)
             return 1.0 - (1.0 - ber) ** (frame.size_bytes * 8)
-        snr = self.rx_power_dbm(tx_id, rx_id) - self.capture.noise_floor_dbm
+        snr = self._snr_from[tx_id][rx_id]
         return self.error_model.packet_error_probability(snr, frame.rate, frame.size_bytes)
 
     def _deliver(self, transmission: _Transmission) -> None:
         frame = transmission.frame
+        rate = frame.rate
+        sensitivity = rate.rx_sensitivity_dbm
+        decodable = self.capture.decodable
+        observers = self.frame_observers
+        macs = self._macs
+        tx_id = transmission.tx_id
         for rx_id, reception in transmission.receptions.items():
             failure = reception.failure
             if failure is None:
-                if reception.signal_dbm < frame.rate.rx_sensitivity_dbm:
+                if reception.signal_dbm < sensitivity:
                     failure = "weak"
-                elif not self.capture.decodable(
-                    reception.signal_dbm, reception.peak_interference_mw, frame.rate
+                elif not decodable(
+                    reception.signal_dbm, reception.peak_interference_mw, rate
                 ):
                     failure = "collision"
                 else:
                     # Residual channel errors (independent of interference).
-                    per = self._channel_error_probability(transmission.tx_id, rx_id, frame)
-                    if per > 0.0 and self._rng.random() < per:
+                    per = self._channel_error_probability(tx_id, rx_id, frame)
+                    if per > 0.0 and self._draw_uniform() < per:
                         failure = "channel"
                     elif reception.peak_interference_mw > 0.0:
                         # Partial capture: the frame clears the SINR
@@ -315,17 +507,17 @@ class WirelessMedium:
                             reception.signal_dbm, reception.peak_interference_mw
                         )
                         p_int = self.error_model.packet_error_probability(
-                            effective_sinr, frame.rate, frame.size_bytes
+                            effective_sinr, rate, frame.size_bytes
                         )
-                        if p_int > 0.0 and self._rng.random() < p_int:
+                        if p_int > 0.0 and self._draw_uniform() < p_int:
                             failure = "collision"
             success = failure is None
-            for observer in self.frame_observers:
+            for observer in observers:
                 observer(frame, rx_id, success, failure)
             if success:
                 self.delivered_frames += 1
-                mac = self._macs.get(rx_id)
+                mac = macs.get(rx_id)
                 if mac is not None:
-                    mac.on_frame_received(frame, transmission.tx_id)
+                    mac.on_frame_received(frame, tx_id)
             else:
                 self.loss_counts[failure] += 1

@@ -27,7 +27,7 @@ class PacketKind(Enum):
     CONTROL = "control"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """An end-to-end network-layer packet.
 
@@ -54,7 +54,7 @@ class Packet:
     seq: int = 0
     meta: dict[str, Any] = field(default_factory=dict)
     hops: int = 0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=_packet_ids.__next__)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

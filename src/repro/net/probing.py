@@ -90,6 +90,7 @@ class ProbingSystem:
         self._rng = sim.rng_stream("probing")
         self._sent: dict[tuple[int, str], int] = {}
         self._logs: dict[tuple[int, int, str], _ProbeLog] = {}
+        self._label_cache: dict[tuple[str, str], str] = {}
         self._running = False
         for node in self.nodes.values():
             node.add_broadcast_handler(self._make_handler(node.node_id))
@@ -113,9 +114,22 @@ class ProbingSystem:
         return f"{kind}@{rate.name}"
 
     def _record(self, receiver_id: int, payload: ProbePayload) -> None:
-        label = payload.kind if not payload.rate_name else f"{payload.kind}@{payload.rate_name}"
+        # Hot path: one call per probe reception.  The label strings are
+        # memoised and the log is only allocated on first sight of a
+        # (sender, receiver, label) stream.
+        rate_name = payload.rate_name
+        if rate_name:
+            label_key = (payload.kind, rate_name)
+            label = self._label_cache.get(label_key)
+            if label is None:
+                label = self._label_cache[label_key] = f"{payload.kind}@{rate_name}"
+        else:
+            label = payload.kind
         key = (payload.sender, receiver_id, label)
-        self._logs.setdefault(key, _ProbeLog()).received.add(payload.seq)
+        log = self._logs.get(key)
+        if log is None:
+            log = self._logs[key] = _ProbeLog()
+        log.received.add(payload.seq)
 
     # --------------------------------------------------------------- probing
     def start(self) -> None:

@@ -51,7 +51,9 @@ class CaptureModel:
     """Decides frame decodability from signal, interference and rate.
 
     Attributes:
-        noise_floor_dbm: thermal noise power.
+        noise_floor_dbm: thermal noise power.  Fixed at construction:
+            the derived linear noise power is cached so the hot
+            decodability check does not re-derive dBm→mW per frame.
         sinr_margin_db: extra margin added to each rate's minimum SINR;
             raising it makes capture harder (more collision losses),
             lowering it makes overlapping transmissions survive more
@@ -60,6 +62,15 @@ class CaptureModel:
 
     noise_floor_dbm: float = NOISE_FLOOR_DBM
     sinr_margin_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Cached conversions of the noise floor.  ``_noise_round_trip_dbm``
+        # is ``mw_to_dbm(dbm_to_mw(noise))`` — NOT the noise floor itself
+        # (the round trip is a ULP off) — so the interference-free fast
+        # path in :meth:`sinr` returns bit-identical values to the full
+        # ``sinr_db`` formula with ``interference_mw == 0``.
+        self._noise_mw = dbm_to_mw(self.noise_floor_dbm)
+        self._noise_round_trip_dbm = mw_to_dbm(self._noise_mw)
 
     def decodable(
         self,
@@ -70,9 +81,12 @@ class CaptureModel:
         """Whether a frame survives the worst overlapping interference."""
         if signal_dbm < rate.rx_sensitivity_dbm:
             return False
-        value = sinr_db(signal_dbm, interference_mw, self.noise_floor_dbm)
-        return value >= rate.min_sinr_db + self.sinr_margin_db
+        return self.sinr(signal_dbm, interference_mw) >= rate.min_sinr_db + self.sinr_margin_db
 
     def sinr(self, signal_dbm: float, interference_mw: float) -> float:
         """Convenience accessor for the SINR under this model's noise."""
-        return sinr_db(signal_dbm, interference_mw, self.noise_floor_dbm)
+        if interference_mw <= 0.0:
+            # denom == noise exactly, so skip the log10 — same float as
+            # ``sinr_db(signal, 0.0, noise_floor)``.
+            return signal_dbm - self._noise_round_trip_dbm
+        return signal_dbm - mw_to_dbm(self._noise_mw + interference_mw)

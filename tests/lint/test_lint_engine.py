@@ -151,6 +151,35 @@ class TestScoping:
         )
         assert lint_paths([path], config).findings == []
 
+    def test_profiler_module_is_the_only_sim_wall_clock_carveout(
+        self, tmp_path: Path
+    ) -> None:
+        """The production config sanctions exactly ``repro/sim/profile.py``
+        for wall-clock reads (the engine's profiler hook); the same code
+        anywhere else in the sim layers still fires RPL104."""
+        wall_clock = """
+        from time import perf_counter
+
+        def clock():
+            return perf_counter()
+        """
+        _write(tmp_path, "repro/sim/profile.py", wall_clock)
+        _write(tmp_path, "repro/sim/other.py", wall_clock)
+        _write(tmp_path, "repro/engine.py", wall_clock)
+        report = lint_paths([tmp_path], LintConfig.default())
+        flagged = sorted(
+            f.path.replace("\\", "/").split("repro/", 1)[1]
+            for f in report.findings
+            if f.code == "RPL104"
+        )
+        assert flagged == ["engine.py", "sim/other.py"]
+
+    def test_profiler_carveout_applies_via_config(self) -> None:
+        config = LintConfig.default()
+        assert not config.applies("RPL104", "repro/sim/profile.py")
+        assert config.applies("RPL104", "repro/sim/network.py")
+        assert config.applies("RPL104", "repro/engine.py")
+
 
 class TestReportAndCli:
     def test_json_output_schema(self, tmp_path: Path) -> None:

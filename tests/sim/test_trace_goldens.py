@@ -1,0 +1,77 @@
+"""Sim-level golden traces: frozen per-event digests per scenario.
+
+Every frame-delivery attempt of each canned scenario is folded into a
+SHA-256 by :class:`repro.sim.trace.EventTraceRecorder`; the digest and
+event counters are frozen under ``tests/sim/golden/``.  A failure here
+means the simulation's event-level behaviour changed — see
+``golden/regenerate.py`` (the single source of truth for the scenario
+grid and serialization) for the documented regeneration procedure when
+the change is intentional.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _load_golden_module():
+    spec = importlib.util.spec_from_file_location(
+        "sim_golden_regenerate", _GOLDEN_DIR / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+golden = _load_golden_module()
+
+
+def test_every_scenario_has_a_fixture() -> None:
+    for name in golden.GOLDEN_SCENARIOS:
+        assert golden.golden_path(name).exists(), (
+            f"missing sim golden fixture for {name!r}; run "
+            "PYTHONPATH=src python tests/sim/golden/regenerate.py"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(golden.GOLDEN_SCENARIOS))
+def test_trace_matches_golden(name: str) -> None:
+    """Re-run the scenario; the per-event digest must match byte-for-byte."""
+    record, _recorder = golden.compute(name)
+    frozen_text = golden.golden_path(name).read_text(encoding="utf-8")
+    assert golden.canonical_json(record) == frozen_text, (
+        f"sim trace for {name!r} drifted from its golden digest — the "
+        "engine/medium/DCF behaviour changed at event granularity. If "
+        "intentional, regenerate via tests/sim/golden/regenerate.py and "
+        "explain the move in the commit message."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(golden.GOLDEN_SCENARIOS))
+def test_traces_are_nontrivial(name: str) -> None:
+    """Guard the fixtures themselves: a scenario that stops generating
+    traffic would make the digest test vacuous."""
+    frozen = json.loads(golden.golden_path(name).read_text(encoding="utf-8"))
+    assert frozen["delivery_events"] > 100
+    assert frozen["processed_events"] > frozen["delivery_events"]
+
+
+def test_recorder_digest_is_incremental_and_order_sensitive() -> None:
+    """Unit-level contract of the recorder: the digest distinguishes
+    event order and accumulates without finalizing."""
+    record, recorder = golden.compute("chain3", keep_lines=True)
+    assert recorder.lines, "keep_lines=True must retain the raw trace"
+    assert len(recorder.lines) == recorder.events == record["delivery_events"]
+    # hexdigest() is repeatable (non-finalizing).
+    assert recorder.digest == recorder.digest == record["digest_sha256"]
+    # The digest is exactly SHA-256 over the concatenated lines.
+    import hashlib
+
+    joined = "".join(recorder.lines).encode("utf-8")
+    assert hashlib.sha256(joined).hexdigest() == recorder.digest

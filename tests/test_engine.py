@@ -132,3 +132,140 @@ class TestRngStreams:
             np.random.SeedSequence(entropy=5, spawn_key=(3329443255,))
         )
         assert list(stream.random(4)) == list(reference.random(4))
+
+
+class TestHeapCompaction:
+    """Cancelled events are lazily deleted; compaction bounds the heap.
+
+    The DCF churns timers constantly (every deferral cancels and
+    reschedules a backoff/ACK timeout), so dead heap entries must not
+    accumulate — before compaction, a long run's heap grew with the
+    number of cancellations rather than the number of live events.
+    """
+
+    def test_schedule_cancel_churn_keeps_heap_bounded(self):
+        sim = Simulator()
+        live = [sim.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for _ in range(10_000):
+            sim.schedule(500.0, lambda: None).cancel()
+        # Compaction triggers whenever cancelled entries outnumber live
+        # ones (past a small floor), so the raw heap stays within a
+        # constant factor of the live set instead of growing to ~10k.
+        assert sim.queued_entries < 200
+        assert sim.pending_events == len(live)
+
+    def test_double_cancel_does_not_corrupt_accounting(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(0.1, lambda: fired.append("dead"))
+        event.cancel()
+        event.cancel()  # idempotent: must not double-count
+        sim.schedule(0.2, lambda: fired.append("live"))
+        for _ in range(200):  # push accounting past the compaction floor
+            sim.schedule(0.15, lambda: None).cancel()
+        sim.run_until(1.0)
+        assert fired == ["live"]
+        assert sim.queued_entries == 0
+
+    def test_cancelling_from_inside_a_callback_survives_compaction(self):
+        """Compaction rebuilds the heap in place mid-run; the run loop's
+        alias must keep seeing the surviving events, in order."""
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(0.5 + i * 1e-6, lambda: fired.append("dead"))
+                  for i in range(300)]
+
+        def purge():
+            fired.append("purge")
+            for event in doomed:
+                event.cancel()
+
+        sim.schedule(0.1, purge)
+        sim.schedule(0.9, lambda: fired.append("after"))
+        sim.run_until(1.0)
+        assert fired == ["purge", "after"]
+        assert sim.processed_events == 2
+
+    def test_cancelled_events_popped_normally_below_threshold(self):
+        """A few cancellations never trigger compaction; the run loop
+        skips the dead entries as it pops them."""
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            event = sim.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+            if i % 2:
+                event.cancel()
+        sim.run_until(2.0)
+        assert fired == [0, 2, 4, 6, 8]
+        assert sim.queued_entries == 0
+
+
+class TestProfilerHook:
+    """The duck-typed profiler hook on the run loop."""
+
+    class _FakeProfiler:
+        """Deterministic stand-in: the 'clock' ticks once per call."""
+
+        def __init__(self):
+            self.ticks = 0
+            self.recorded = []
+
+        def clock(self):
+            self.ticks += 1
+            return float(self.ticks)
+
+        def record(self, callback, elapsed_s):
+            self.recorded.append((callback, elapsed_s))
+
+    def test_instance_profiler_sees_every_dispatched_event(self):
+        sim = Simulator()
+        prof = self._FakeProfiler()
+        sim.profiler = prof
+        seen = []
+        sim.schedule(0.1, lambda: seen.append("a"))
+        sim.schedule(0.2, lambda: seen.append("b"))
+        cancelled = sim.schedule(0.3, lambda: seen.append("dead"))
+        cancelled.cancel()
+        sim.run_until(1.0)
+        assert seen == ["a", "b"]
+        # One (callback, elapsed) pair per executed event; elapsed is
+        # clock() - clock() = 1.0 with the ticking fake.
+        assert [elapsed for _, elapsed in prof.recorded] == [1.0, 1.0]
+        assert sim.processed_events == 2
+
+    def test_profiled_and_unprofiled_runs_are_identical(self):
+        """Profiling must not change simulation behaviour, only observe it."""
+
+        def drive(sim):
+            order = []
+
+            def reschedule():
+                order.append(sim.now)
+                if sim.now < 0.5:
+                    sim.schedule(0.125, reschedule)
+
+            sim.schedule(0.125, reschedule)
+            sim.run_until(1.0)
+            return order, sim.now, sim.processed_events
+
+        plain = drive(Simulator(seed=3))
+        profiled_sim = Simulator(seed=3)
+        profiled_sim.profiler = self._FakeProfiler()
+        assert drive(profiled_sim) == plain
+
+    def test_default_profiler_is_process_wide_and_restorable(self):
+        from repro.engine import set_default_profiler
+
+        prof = self._FakeProfiler()
+        previous = set_default_profiler(prof)
+        try:
+            sim = Simulator()  # constructed *after* install: still profiled
+            sim.schedule(0.1, lambda: None)
+            sim.run_until(1.0)
+            assert len(prof.recorded) == 1
+        finally:
+            set_default_profiler(previous)
+        sim2 = Simulator()
+        sim2.schedule(0.1, lambda: None)
+        sim2.run_until(1.0)
+        assert len(prof.recorded) == 1  # restored: no further reports
