@@ -57,6 +57,14 @@ WORKERS = 2
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_queue.json"
 
+#: Pre-PR-8 numbers, recorded before the keep-alive BrokerClient landed
+#: (one fresh TCP connection per request) and before the broker grew its
+#: durability store — the before/after context for the current record.
+BASELINE = {
+    "broker": {"overhead_s_per_task": 0.24, "tasks_per_s": 4.05},
+    "work_queue": {"overhead_s_per_task": 0.224, "tasks_per_s": 4.34},
+}
+
 
 def _canonical(batch) -> str:
     return json.dumps(
@@ -65,17 +73,30 @@ def _canonical(batch) -> str:
 
 
 def _run_backend(name: str, sweep, tmp_path):
+    server = None
     if name == "serial":
         backend = SerialBackend()
     elif name == "work_queue":
         backend = WorkQueueBackend(
             tmp_path / "queue", workers=WORKERS, timeout_s=300.0
         )
+    elif name == "broker_durable":
+        # The full journal-per-transition price: same sweep, same broker,
+        # but every submit/claim/result lands in the store first.
+        from repro.experiment.broker import start_broker
+
+        server = start_broker(store_dir=tmp_path / "broker-store")
+        backend = BrokerBackend(server.url, workers=WORKERS, timeout_s=300.0)
     else:
         backend = BrokerBackend(workers=WORKERS, timeout_s=300.0)
-    start = time.perf_counter()
-    batch = BatchRunner(sweep, backend=backend, cache=False).run()
-    wall_s = time.perf_counter() - start
+    try:
+        start = time.perf_counter()
+        batch = BatchRunner(sweep, backend=backend, cache=False).run()
+        wall_s = time.perf_counter() - start
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
     return batch, wall_s
 
 
@@ -87,7 +108,7 @@ def test_queue_overhead(benchmark, tmp_path):
 
     def measure_all():
         nonlocal reference
-        for name in ("serial", "work_queue", "broker"):
+        for name in ("serial", "work_queue", "broker", "broker_durable"):
             batch, wall_s = _run_backend(name, sweep, tmp_path)
             if name == "serial":
                 reference = _canonical(batch)
@@ -119,6 +140,7 @@ def test_queue_overhead(benchmark, tmp_path):
                 "workers": WORKERS,
                 "cell": TINY_SPEC.label,
                 "backends": measurements,
+                "baseline_pre_keepalive": BASELINE,
             },
             indent=2,
             sort_keys=True,

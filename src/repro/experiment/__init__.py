@@ -36,6 +36,7 @@ This package is the canonical public entry point to the reproduction:
 
 from repro.experiment.backends import (
     BackendError,
+    BrokerAuthError,
     BrokerBackend,
     BrokerClient,
     ExecutionBackend,
@@ -92,6 +93,7 @@ from repro.experiment.specs import (
 
 __all__ = [
     "BackendError",
+    "BrokerAuthError",
     "BrokerBackend",
     "BrokerClient",
     "ExecutionBackend",

@@ -55,12 +55,15 @@ from repro.experiment.backends.base import (
     run_spec_payload,
 )
 from repro.experiment.backends.queue_common import (
+    BROKER_TOKEN_ENV_VAR,
     BROKER_URL_ENV_VAR,
     DEFAULT_LEASE_S,
     DEFAULT_MAX_ATTEMPTS,
     LEASE_ENV_VAR,
     MAX_ATTEMPTS_ENV_VAR,
+    PollBackoff,
     QueueStats,
+    default_broker_token,
     default_lease_s,
     default_max_attempts,
     task_envelope,
@@ -75,6 +78,7 @@ from repro.experiment.backends.work_queue import (
     requeue_expired_claims,
 )
 from repro.experiment.backends.broker_client import (
+    BrokerAuthError,
     BrokerBackend,
     BrokerClient,
     BrokerUnavailable,
@@ -82,8 +86,10 @@ from repro.experiment.backends.broker_client import (
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "BROKER_TOKEN_ENV_VAR",
     "BROKER_URL_ENV_VAR",
     "BackendError",
+    "BrokerAuthError",
     "BrokerBackend",
     "BrokerClient",
     "BrokerUnavailable",
@@ -93,6 +99,7 @@ __all__ = [
     "ExecutionBackend",
     "LEASE_ENV_VAR",
     "MAX_ATTEMPTS_ENV_VAR",
+    "PollBackoff",
     "ProcessPoolBackend",
     "QueueStats",
     "RESULTS_DIR",
@@ -100,6 +107,7 @@ __all__ = [
     "TASKS_DIR",
     "WorkQueueBackend",
     "backend_names",
+    "default_broker_token",
     "default_lease_s",
     "default_max_attempts",
     "ensure_queue_dirs",

@@ -26,19 +26,23 @@ drainer subprocesses the same way; this module holds the shared parts:
 from __future__ import annotations
 
 import os
+import random
 import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 __all__ = [
+    "BROKER_TOKEN_ENV_VAR",
     "BROKER_URL_ENV_VAR",
     "DEFAULT_LEASE_S",
     "DEFAULT_MAX_ATTEMPTS",
     "DrainerPool",
     "LEASE_ENV_VAR",
     "MAX_ATTEMPTS_ENV_VAR",
+    "PollBackoff",
     "QueueStats",
+    "default_broker_token",
     "default_lease_s",
     "default_max_attempts",
     "exhausted_error",
@@ -61,6 +65,12 @@ DEFAULT_MAX_ATTEMPTS = 3
 #: Default broker URL for ``BrokerBackend()`` / ``REPRO_BATCH_BACKEND=broker``.
 BROKER_URL_ENV_VAR = "REPRO_BROKER_URL"
 
+#: Shared broker secret.  Set on the broker it *requires* the token; set
+#: on clients (submitter, workers) they *send* it.  Export the same
+#: value everywhere — :func:`worker_subprocess_env` copies the
+#: submitter's environment, so locally spawned drainers inherit it.
+BROKER_TOKEN_ENV_VAR = "REPRO_BROKER_TOKEN"
+
 
 def default_lease_s() -> float:
     """The environment's claim lease, or :data:`DEFAULT_LEASE_S`."""
@@ -80,6 +90,47 @@ def default_max_attempts() -> int:
     except ValueError:
         return DEFAULT_MAX_ATTEMPTS
     return value if raw and value >= 1 else DEFAULT_MAX_ATTEMPTS
+
+
+def default_broker_token() -> str | None:
+    """The environment's broker token, or ``None`` (open broker)."""
+    return os.environ.get(BROKER_TOKEN_ENV_VAR) or None
+
+
+class PollBackoff:
+    """Jittered exponential backoff for idle polling.
+
+    Flat ``poll_interval_s`` polling is right while work is flowing, but
+    an *idle* tenant hammering a shared broker at 20 Hz — every
+    submitter waiting on stragglers, every ``--idle-timeout-s`` worker
+    between submissions — is pure load.  The first ``grace`` consecutive
+    empty polls stay at ``base_s`` (an *active* sweep sees empty polls
+    between result arrivals and during worker startup; slowing those
+    would trade submit→collect latency for nothing — a poll costs the
+    broker well under a millisecond), then the delay doubles up to ``cap_s``
+    (callers cap well below a lease so liveness reactions stay prompt).
+    Full jitter (a uniform factor in ``[0.5, 1.0]``) decorrelates a
+    fleet that went idle together.  Any progress resets the clock.
+    """
+
+    def __init__(self, base_s: float, cap_s: float, grace: int = 32) -> None:
+        self.base_s = max(base_s, 0.001)
+        self.cap_s = max(cap_s, self.base_s)
+        self.grace = max(grace, 0)
+        self._idle_polls = 0
+        # Not the sim layer: schedule jitter may be nondeterministic.
+        self._rng = random.Random()
+
+    def reset(self) -> None:
+        """Call on any progress; the next delay is the base again."""
+        self._idle_polls = 0
+
+    def next_delay(self) -> float:
+        """Delay before the next poll, growing per consecutive idle call."""
+        exponent = max(self._idle_polls - self.grace, 0)
+        delay = min(self.base_s * (2.0**exponent), self.cap_s)
+        self._idle_polls += 1
+        return delay * (0.5 + 0.5 * self._rng.random())
 
 
 def task_envelope(

@@ -9,29 +9,46 @@ and workers need only a URL in common:
 .. code-block:: console
 
     # anywhere the fleet can reach:
-    $ python -m repro.experiment.broker --host 0.0.0.0 --port 8123
+    $ REPRO_BROKER_TOKEN=s3cret python -m repro.experiment.broker \\
+          --host 0.0.0.0 --port 8123 --store-dir /var/lib/repro-broker
 
-    # on each worker host:
-    $ python -m repro.experiment.worker --broker http://broker:8123
+    # on each worker host (same token in the environment):
+    $ REPRO_BROKER_TOKEN=s3cret python -m repro.experiment.worker \\
+          --broker http://broker:8123
 
-    # on the submitting host:
+    # on the submitting host (same token in the environment):
     >>> BatchRunner(sweep, backend=BrokerBackend("http://broker:8123",
     ...                                          workers=0)).run()
 
 Everything is stdlib: :class:`http.server.ThreadingHTTPServer` on the
-outside, the in-memory :class:`BrokerQueue` (one lock, plain dicts) on
-the inside.  Claims are **leases** here too — the broker stamps a
-deadline on every claim, workers extend it by heartbeating, and every
-request first sweeps expired leases: an expired claim with retry budget
-left goes back on the queue with its ``attempts`` bumped, one without
-becomes a synthesized error envelope naming the task and attempt count.
-A ``kill -9``'d worker therefore costs one lease interval, never the
-sweep.
+outside, :class:`BrokerQueue` on the inside.  Claims are **leases** here
+too — the broker stamps a deadline on every claim, workers extend it by
+heartbeating, and every request first sweeps expired leases: an expired
+claim with retry budget left goes back on the queue with its
+``attempts`` bumped, one without becomes a synthesized error envelope
+naming the task and attempt count.  A ``kill -9``'d worker therefore
+costs one lease interval, never the sweep.
 
-State is in-memory by design: the broker serializes a fleet's claims
-and carries seconds-lived task envelopes, it is not a durable store —
-results worth keeping land in the submitter's :class:`ResultCache`.  If
-the broker dies, submitters time out and resubmit to a fresh one.
+Three properties make the broker fit for a *shared, long-lived*
+deployment rather than a trusted localhost:
+
+* **Durability** (``--store-dir``): every state transition is journaled
+  and periodically snapshotted through
+  :class:`~repro.experiment.broker_store.BrokerStore`, so a broker
+  restart — deploy, OOM, ``kill -9`` — loses no submitted task and no
+  finished result.  Lease deadlines are re-anchored on recovery from
+  persisted *remaining durations*: absolute ``time.monotonic()``
+  deadlines die with the process, so the store never records one.
+  Without a store the queue is in-memory, as before.
+* **Authentication** (``REPRO_BROKER_TOKEN``): with a token configured,
+  every request must carry ``Authorization: Bearer <token>`` or is
+  refused with 401 — what lets the broker bind beyond localhost.  The
+  same variable arms :class:`BrokerClient` and the worker, so a fleet
+  is authenticated by exporting one secret everywhere.
+* **Bucketing**: task state is kept per submission prefix (the id up to
+  its final ``-``), so a match-scoped ``claim`` and a prefix ``collect``
+  touch only their own submission's bucket — O(own submission) under
+  many concurrent submitters, instead of bisecting one global id list.
 
 JSON endpoints (bodies and responses are ``application/json``)::
 
@@ -57,28 +74,72 @@ from __future__ import annotations
 
 import argparse
 import bisect
+import hmac
 import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.experiment.backends.queue_common import (
+    BROKER_TOKEN_ENV_VAR,
+    default_broker_token,
     default_lease_s,
     default_max_attempts,
     exhausted_error,
 )
+from repro.experiment.broker_store import DEFAULT_SNAPSHOT_EVERY, BrokerStore
 
-__all__ = ["BrokerQueue", "BrokerServer", "main", "start_broker"]
+__all__ = [
+    "BrokerQueue",
+    "BrokerServer",
+    "bucket_key",
+    "main",
+    "start_broker",
+]
+
+
+def bucket_key(task_id: str) -> str:
+    """The submission bucket a task id belongs to.
+
+    Ids are ``<submission>-<index>`` (``f"{job}-{index:05d}"`` in both
+    backends), so everything up to and including the final ``-`` names
+    the submission; an id with no ``-`` is its own bucket.  Submitters
+    scope claims and collects by exactly this prefix, which is what
+    makes a bucket the unit of O(own submission) work.
+    """
+    head, sep, _ = task_id.rpartition("-")
+    return head + sep if sep else task_id
+
+
+class _Bucket:
+    """One submission's live state: pending, claimed, finished."""
+
+    __slots__ = ("order", "tasks", "claimed", "results", "touched_at")
+
+    def __init__(self, touched_at: float) -> None:
+        #: Sorted pending task ids — claim order is id order, which is
+        #: submission order (ids embed the submitter's planned index).
+        self.order: list[str] = []
+        self.tasks: dict[str, dict[str, Any]] = {}
+        #: id -> (envelope, lease deadline, worker name)
+        self.claimed: dict[str, tuple[dict[str, Any], float, str]] = {}
+        self.results: dict[str, dict[str, Any]] = {}
+        #: Last time anyone (submitter or worker) touched this
+        #: submission — the abandoned-submission GC clock.
+        self.touched_at = touched_at
+
+    def empty(self) -> bool:
+        return not (self.tasks or self.claimed or self.results)
 
 
 class BrokerQueue:
-    """The broker's in-memory task state; every method is thread-safe.
+    """The broker's task state, bucketed by submission; thread-safe.
 
     Args:
         lease_s: fallback lease for task envelopes that carry none.
         max_attempts: fallback retry budget, likewise.
-        ttl_s: idle time after which a task or result is garbage — a
+        ttl_s: idle time after which a submission is garbage — a
             submitter killed before its ``cancel`` leaves its submission
             behind, and without a horizon a long-lived shared broker
             would grow forever (and external workers would burn compute
@@ -88,6 +149,12 @@ class BrokerQueue:
             deliberately paranoid one-week orphan horizon.
         time_fn: monotonic clock, injectable so lease-expiry tests need
             no real sleeping.
+        store: optional :class:`~repro.experiment.broker_store.BrokerStore`
+            — every state transition is journaled through it and the
+            persisted state is recovered (with lease deadlines
+            re-anchored against ``time_fn``'s axis) before the queue
+            serves its first request.  ``None`` keeps the queue
+            in-memory.
     """
 
     #: Default ``ttl_s`` — the file queue's ``_STALE_RESULT_S`` horizon.
@@ -99,6 +166,7 @@ class BrokerQueue:
         max_attempts: int | None = None,
         ttl_s: float | None = None,
         time_fn: Callable[[], float] = time.monotonic,
+        store: BrokerStore | None = None,
     ) -> None:
         self._lease_s = lease_s if lease_s is not None else default_lease_s()
         self._max_attempts = (
@@ -107,19 +175,133 @@ class BrokerQueue:
         self._ttl_s = ttl_s if ttl_s is not None else self.DEFAULT_TTL_S
         self._now = time_fn
         self._lock = threading.Lock()
-        #: sorted pending task ids (claim order = id order, which is
-        #: submission order: ids embed the submitter's planned index).
-        #: Sorted rather than a heap so a match-scoped claim can bisect
-        #: straight to its own prefix instead of rescanning every other
-        #: submission's backlog on a shared broker.  May hold stale ids
-        #: (cancelled/completed); claims drop them lazily.
-        self._order: list[str] = []
-        self._tasks: dict[str, dict[str, Any]] = {}  # pending envelopes
-        #: id -> (envelope, lease deadline, worker name)
-        self._claimed: dict[str, tuple[dict[str, Any], float, str]] = {}
-        self._results: dict[str, dict[str, Any]] = {}
-        #: id -> last time anyone (submitter or worker) touched it.
-        self._touched: dict[str, float] = {}
+        self._buckets: dict[str, _Bucket] = {}
+        self._keys: list[str] = []  # sorted bucket keys
+        self._store = store
+        if store is not None:
+            now = self._now()
+            state, records = store.recover()
+            if state is not None:
+                self._load_state(state, now)
+            for record in records:
+                self._replay(record, now)
+            # Compact at boot: the recovered state becomes the snapshot,
+            # replayed generations are retired, and a fresh journal
+            # generation is opened for this process's appends.
+            store.checkpoint(self._state_dict(now))
+
+    # ----------------------------------------------------------- durability
+    def _journal(self, record: Mapping[str, Any]) -> None:
+        """Persist one applied transition (lock held, state mutated)."""
+        if self._store is None:
+            return
+        if self._store.append(record):
+            self._store.checkpoint(self._state_dict(self._now()))
+
+    def _state_dict(self, now: float) -> dict[str, Any]:
+        """Full state with every clock converted to a *duration*.
+
+        Deadlines and touch times are instants on this process's
+        monotonic axis — meaningless to the next process — so claims
+        persist their remaining lease and buckets their idle age, both
+        re-anchored against the new clock at load.
+        """
+        buckets: dict[str, Any] = {}
+        for key in self._keys:
+            bucket = self._buckets[key]
+            buckets[key] = {
+                "pending": [bucket.tasks[tid] for tid in bucket.order],
+                "claimed": [
+                    [env, max(deadline - now, 0.0), worker]
+                    for tid, (env, deadline, worker) in sorted(
+                        bucket.claimed.items()
+                    )
+                ],
+                "results": [
+                    bucket.results[tid] for tid in sorted(bucket.results)
+                ],
+                "idle_s": max(now - bucket.touched_at, 0.0),
+            }
+        return {"buckets": buckets}
+
+    def _load_state(self, state: Mapping[str, Any], now: float) -> None:
+        """Rebuild from a snapshot, re-anchoring durations at ``now``."""
+        for key, raw in state.get("buckets", {}).items():
+            bucket = self._bucket(str(key), now)
+            bucket.touched_at = now - float(raw.get("idle_s", 0.0))
+            for envelope in raw.get("pending", ()):
+                task_id = str(envelope["id"])
+                bucket.tasks[task_id] = dict(envelope)
+                bisect.insort(bucket.order, task_id)
+            for envelope, remaining_s, worker in raw.get("claimed", ()):
+                bucket.claimed[str(envelope["id"])] = (
+                    dict(envelope),
+                    now + max(float(remaining_s), 0.0),
+                    str(worker),
+                )
+            for outcome in raw.get("results", ()):
+                bucket.results[str(outcome["id"])] = dict(outcome)
+
+    def _replay(self, record: Mapping[str, Any], now: float) -> None:
+        """Re-apply one journaled transition during recovery.
+
+        Claims replay with a *full fresh* lease on the new clock — the
+        journal records that a claim happened, not how much lease was
+        left when the broker died, and granting the whole lease is the
+        conservative re-anchoring: a worker that died with the broker
+        costs one extra lease interval, one that survived just keeps
+        heartbeating.  Replay is idempotent: a transition whose subject
+        is already gone (acked, cancelled, GC'd) is a no-op.
+        """
+        op = record.get("op")
+        if op == "submit":
+            self._do_submit(record.get("tasks", ()), now)
+        elif op == "claim":
+            task_id = str(record.get("id", ""))
+            bucket = self._buckets.get(bucket_key(task_id))
+            if bucket is not None and task_id in bucket.tasks:
+                envelope = bucket.tasks.pop(task_id)
+                index = bisect.bisect_left(bucket.order, task_id)
+                if index < len(bucket.order) and bucket.order[index] == task_id:
+                    bucket.order.pop(index)
+                bucket.claimed[task_id] = (
+                    envelope,
+                    now + self._lease_of(envelope),
+                    str(record.get("worker", "")),
+                )
+                bucket.touched_at = now
+        elif op == "result":
+            self._do_result(record.get("outcome", {}), now)
+        elif op == "ack":
+            self._do_ack(record.get("ids", ()), now)
+        elif op == "requeue":
+            task_id = str(record.get("id", ""))
+            bucket = self._buckets.get(bucket_key(task_id))
+            if bucket is not None and task_id in bucket.claimed:
+                envelope, _, _ = bucket.claimed.pop(task_id)
+                envelope["attempts"] = int(record.get("attempts", 0))
+                bucket.tasks[task_id] = envelope
+                bisect.insort(bucket.order, task_id)
+                bucket.touched_at = now
+        elif op == "exhaust":
+            task_id = str(record.get("id", ""))
+            bucket = self._buckets.get(bucket_key(task_id))
+            if bucket is not None and task_id in bucket.claimed:
+                bucket.claimed.pop(task_id)
+                attempts = int(record.get("attempts", 0))
+                bucket.results[task_id] = {
+                    "id": task_id,
+                    "error": exhausted_error(
+                        task_id, attempts, int(record.get("budget", attempts))
+                    ),
+                    "attempts": attempts,
+                }
+                bucket.touched_at = now
+        elif op == "cancel":
+            self._do_cancel(record.get("ids", ()))
+        elif op == "gc":
+            for key in record.get("keys", ()):
+                self._drop_bucket(str(key))
 
     # ------------------------------------------------------------ internals
     def _lease_of(self, envelope: Mapping[str, Any]) -> float:
@@ -128,104 +310,202 @@ class BrokerQueue:
     def _budget_of(self, envelope: Mapping[str, Any]) -> int:
         return int(envelope.get("max_attempts") or self._max_attempts)
 
-    def _expire(self, now: float) -> None:
-        """Requeue expired claims and GC abandoned ids (lock held)."""
-        expired = [
-            task_id
-            for task_id, (_, deadline, _) in self._claimed.items()
-            if deadline < now
+    def _bucket(self, key: str, now: float) -> _Bucket:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket(now)
+            self._buckets[key] = bucket
+            bisect.insort(self._keys, key)
+        return bucket
+
+    def _drop_bucket(self, key: str) -> None:
+        if self._buckets.pop(key, None) is not None:
+            index = bisect.bisect_left(self._keys, key)
+            if index < len(self._keys) and self._keys[index] == key:
+                self._keys.pop(index)
+
+    def _drop_if_empty(self, key: str) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is not None and bucket.empty():
+            self._drop_bucket(key)
+
+    def _candidates(self, match: str) -> list[str]:
+        """Bucket keys a ``match`` prefix can reach, in sorted order.
+
+        A task matches iff its id starts with ``match``; all of a
+        bucket's ids start with its key, so the only reachable buckets
+        are those whose key extends the match (``key.startswith``) or
+        that the match reaches into (``match.startswith(key)``) — for
+        the canonical "submitter polls its own prefix" case this is a
+        single bucket, never the whole table.
+        """
+        if not match:
+            return list(self._keys)
+        return [
+            key
+            for key in self._keys
+            if key.startswith(match) or match.startswith(key)
         ]
-        for task_id in expired:
-            envelope, _, _ = self._claimed.pop(task_id)
-            self._touched[task_id] = now
-            attempts = int(envelope.get("attempts", 0)) + 1
-            envelope["attempts"] = attempts
-            budget = self._budget_of(envelope)
-            if attempts >= budget:
-                self._results[task_id] = {
-                    "id": task_id,
-                    "error": exhausted_error(task_id, attempts, budget),
-                    "attempts": attempts,
-                }
-            else:
-                self._tasks[task_id] = envelope
-                bisect.insort(self._order, task_id)
+
+    def _matching_ids(self, ids: Iterable[str], match: str) -> list[str]:
+        return sorted(tid for tid in ids if tid.startswith(match))
+
+    def _expire(self, now: float) -> None:
+        """Requeue expired claims and GC abandoned buckets (lock held)."""
+        for key in list(self._keys):
+            bucket = self._buckets[key]
+            expired = sorted(
+                task_id
+                for task_id, (_, deadline, _) in bucket.claimed.items()
+                if deadline < now
+            )
+            for task_id in expired:
+                envelope, _, _ = bucket.claimed.pop(task_id)
+                bucket.touched_at = now
+                attempts = int(envelope.get("attempts", 0)) + 1
+                envelope["attempts"] = attempts
+                budget = self._budget_of(envelope)
+                if attempts >= budget:
+                    bucket.results[task_id] = {
+                        "id": task_id,
+                        "error": exhausted_error(task_id, attempts, budget),
+                        "attempts": attempts,
+                    }
+                    self._journal(
+                        {
+                            "op": "exhaust",
+                            "id": task_id,
+                            "attempts": attempts,
+                            "budget": budget,
+                        }
+                    )
+                else:
+                    bucket.tasks[task_id] = envelope
+                    bisect.insort(bucket.order, task_id)
+                    self._journal(
+                        {"op": "requeue", "id": task_id, "attempts": attempts}
+                    )
         # Abandoned-submission GC: a submitter that died without its
-        # cancel stops collecting, so nothing refreshes its ids — once
-        # idle past the TTL they are garbage (stale ids left in the
-        # sorted order are dropped lazily on claim, and compacted in
-        # bulk here so a dead submission no worker matches cannot pin
-        # memory forever).
+        # cancel stops collecting, so nothing refreshes its bucket —
+        # once idle past the TTL the whole submission is garbage.
         horizon = now - self._ttl_s
-        stale = [t for t, at in self._touched.items() if at < horizon]
-        for task_id in stale:
-            self._tasks.pop(task_id, None)
-            self._claimed.pop(task_id, None)
-            self._results.pop(task_id, None)
-            del self._touched[task_id]
+        stale = [
+            key for key in self._keys if self._buckets[key].touched_at < horizon
+        ]
+        for key in stale:
+            self._drop_bucket(key)
         if stale:
-            self._order = [t for t in self._order if t in self._tasks]
+            self._journal({"op": "gc", "keys": stale})
 
     # ------------------------------------------------------------- protocol
+    def _do_submit(self, tasks: Iterable[Mapping[str, Any]], now: float) -> int:
+        count = 0
+        for envelope in tasks:
+            count += 1
+            task_id = str(envelope["id"])
+            bucket = self._bucket(bucket_key(task_id), now)
+            bucket.touched_at = now
+            if (
+                task_id in bucket.tasks
+                or task_id in bucket.claimed
+                or task_id in bucket.results
+            ):
+                continue  # resubmission of a known task is a no-op
+            bucket.tasks[task_id] = dict(envelope)
+            bisect.insort(bucket.order, task_id)
+        return count
+
     def submit(self, tasks: list[Mapping[str, Any]]) -> int:
         now = self._now()
         with self._lock:
-            for envelope in tasks:
-                task_id = str(envelope["id"])
-                self._touched[task_id] = now
-                if task_id in self._tasks:
-                    continue  # resubmission of a pending task is a no-op
-                self._tasks[task_id] = dict(envelope)
-                bisect.insort(self._order, task_id)
-            return len(tasks)
+            accepted = self._do_submit(tasks, now)
+            if accepted:
+                self._journal(
+                    {"op": "submit", "tasks": [dict(t) for t in tasks]}
+                )
+            return accepted
 
     def claim(self, match: str = "", worker: str = "") -> dict[str, Any] | None:
         """Pop the first pending task matching ``match`` and lease it.
 
-        Ids sharing a prefix are contiguous in the sorted order, so the
-        scan bisects straight to the prefix and stops the moment it
-        leaves it — a drainer polling for its own submission never pays
-        for other submissions' backlogs.
+        Bucketing makes the scan O(own submission): only the buckets the
+        prefix can reach are visited, and within a bucket the sorted
+        pending list is bisected straight to the prefix — a drainer
+        polling for its own submission never pays for other submissions'
+        backlogs.
         """
         now = self._now()
         with self._lock:
             self._expire(now)
-            index = bisect.bisect_left(self._order, match) if match else 0
-            while index < len(self._order):
-                task_id = self._order[index]
-                if match and not task_id.startswith(match):
-                    break  # sorted: past the prefix range, nothing matches
-                envelope = self._tasks.get(task_id)
-                if envelope is None:
-                    self._order.pop(index)  # cancelled/completed: drop lazily
+            for key in self._candidates(match):
+                bucket = self._buckets[key]
+                index = bisect.bisect_left(bucket.order, match) if match else 0
+                if index >= len(bucket.order):
                     continue
-                self._order.pop(index)
-                del self._tasks[task_id]
-                self._claimed[task_id] = (
+                task_id = bucket.order[index]
+                if match and not task_id.startswith(match):
+                    continue  # sorted: past the prefix range in this bucket
+                bucket.order.pop(index)
+                envelope = bucket.tasks.pop(task_id)
+                bucket.claimed[task_id] = (
                     envelope,
                     now + self._lease_of(envelope),
                     worker,
                 )
-                self._touched[task_id] = now
+                bucket.touched_at = now
+                self._journal({"op": "claim", "id": task_id, "worker": worker})
                 return dict(envelope)
             return None
 
     def heartbeat(self, task_id: str) -> bool:
-        """Extend a live claim's lease; False if the claim is gone."""
+        """Extend a live claim's lease; False if the claim is gone.
+
+        Deliberately not journaled: heartbeats only move deadlines,
+        which recovery re-anchors from scratch anyway, and a fleet beats
+        every quarter lease — journaling that would drown the journal in
+        records that carry no recoverable information.
+        """
         now = self._now()
         with self._lock:
             self._expire(now)
-            entry = self._claimed.get(task_id)
-            if entry is None:
+            bucket = self._buckets.get(bucket_key(task_id))
+            entry = bucket.claimed.get(task_id) if bucket is not None else None
+            if bucket is None or entry is None:
                 return False
             envelope, _, worker = entry
-            self._claimed[task_id] = (
+            bucket.claimed[task_id] = (
                 envelope,
                 now + self._lease_of(envelope),
                 worker,
             )
-            self._touched[task_id] = now
+            bucket.touched_at = now
             return True
+
+    def _do_result(self, outcome: Mapping[str, Any], now: float) -> bool:
+        task_id = str(outcome.get("id", ""))
+        bucket = self._buckets.get(bucket_key(task_id))
+        if bucket is None:
+            return False
+        known = (
+            task_id in bucket.tasks
+            or task_id in bucket.claimed
+            or task_id in bucket.results
+        )
+        if not known:
+            return False
+        bucket.touched_at = now
+        entry = bucket.claimed.pop(task_id, None)
+        pending = bucket.tasks.pop(task_id, None)
+        if pending is not None:
+            index = bisect.bisect_left(bucket.order, task_id)
+            if index < len(bucket.order) and bucket.order[index] == task_id:
+                bucket.order.pop(index)
+        envelope = entry[0] if entry else pending
+        stored = dict(outcome)
+        if envelope is not None:
+            stored.setdefault("attempts", int(envelope.get("attempts", 0)))
+        bucket.results[task_id] = stored
+        return True
 
     def result(self, outcome: Mapping[str, Any]) -> bool:
         """Accept an outcome envelope; False if the task is unknown.
@@ -238,25 +518,26 @@ class BrokerQueue:
         for ids the broker has never seen (a cancelled submission) are
         refused so they cannot accumulate forever.
         """
-        task_id = str(outcome.get("id", ""))
         now = self._now()
         with self._lock:
-            known = (
-                task_id in self._tasks
-                or task_id in self._claimed
-                or task_id in self._results
-            )
-            if not known:
-                return False
-            self._touched[task_id] = now
-            entry = self._claimed.pop(task_id, None)
-            pending = self._tasks.pop(task_id, None)
-            envelope = entry[0] if entry else pending
-            stored = dict(outcome)
-            if envelope is not None:
-                stored.setdefault("attempts", int(envelope.get("attempts", 0)))
-            self._results[task_id] = stored
-            return True
+            accepted = self._do_result(outcome, now)
+            if accepted:
+                self._journal({"op": "result", "outcome": dict(outcome)})
+            return accepted
+
+    def _do_ack(self, ids: Iterable[str], now: float) -> list[str]:
+        dropped = []
+        for task_id in ids:
+            task_id = str(task_id)
+            key = bucket_key(task_id)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            if bucket.results.pop(task_id, None) is not None:
+                dropped.append(task_id)
+                bucket.touched_at = now
+            self._drop_if_empty(key)
+        return dropped
 
     def collect(
         self,
@@ -270,9 +551,10 @@ class BrokerQueue:
 
         Address the submission either by explicit ``ids`` or by a
         ``match`` prefix; prefix collection keeps each poll tick's
-        request O(newly finished), not O(submission size) — a
-        10 000-cell sweep must not ship its whole id list 20 times a
-        second.
+        request O(newly finished), not O(submission size), and the
+        bucket table keeps the server-side scan O(own submission) — a
+        busy shared broker never walks every tenant's state to answer
+        one tenant's poll.
 
         Handover is **ack-based, never speculative**: results stay in
         the tables (and are re-sent) until a later request lists them in
@@ -286,75 +568,113 @@ class BrokerQueue:
         now = self._now()
         with self._lock:
             self._expire(now)
-            for task_id in ack or ():
-                self._results.pop(task_id, None)
-                self._touched.pop(task_id, None)
+            acked = self._do_ack(ack or (), now)
+            if acked:
+                self._journal({"op": "ack", "ids": acked})
+            results: list[dict[str, Any]] = []
+            pending = claimed = 0
             if match is not None:
-                # The asker is a live submitter: its whole submission
-                # stays fresh for the abandoned-submission GC.
-                for task_id in self._touched:
-                    if task_id.startswith(match):
-                        self._touched[task_id] = now
-                results = [
-                    dict(envelope)
-                    for task_id, envelope in self._results.items()
-                    if task_id.startswith(match)
-                ]
-                pending = sum(1 for t in self._tasks if t.startswith(match))
-                claimed = sum(1 for t in self._claimed if t.startswith(match))
+                for key in self._candidates(match):
+                    bucket = self._buckets[key]
+                    # The asker is a live submitter: its submission
+                    # stays fresh for the abandoned-submission GC.
+                    bucket.touched_at = now
+                    if key.startswith(match):
+                        # Whole bucket matches: counts are O(1), results
+                        # are O(finished) — the steady-state poll tick.
+                        wanted = sorted(bucket.results)
+                        pending += len(bucket.order)
+                        claimed += len(bucket.claimed)
+                    else:
+                        wanted = self._matching_ids(bucket.results, match)
+                        index = bisect.bisect_left(bucket.order, match)
+                        while (
+                            index < len(bucket.order)
+                            and bucket.order[index].startswith(match)
+                        ):
+                            pending += 1
+                            index += 1
+                        claimed += sum(
+                            1 for t in bucket.claimed if t.startswith(match)
+                        )
+                    results.extend(dict(bucket.results[t]) for t in wanted)
             else:
-                wanted = list(ids or [])
-                for task_id in wanted:
-                    if task_id in self._touched:
-                        self._touched[task_id] = now
-                results = [
-                    dict(self._results[task_id])
-                    for task_id in wanted
-                    if task_id in self._results
-                ]
-                wanted_set = set(wanted)
-                pending = sum(1 for t in self._tasks if t in wanted_set)
-                claimed = sum(1 for t in self._claimed if t in wanted_set)
+                wanted_ids = [str(task_id) for task_id in ids or []]
+                touched: set[str] = set()
+                for task_id in wanted_ids:
+                    key = bucket_key(task_id)
+                    bucket = self._buckets.get(key)
+                    if bucket is None:
+                        continue
+                    if key not in touched:
+                        touched.add(key)
+                        bucket.touched_at = now
+                    if task_id in bucket.results:
+                        results.append(dict(bucket.results[task_id]))
+                    pending += task_id in bucket.tasks
+                    claimed += task_id in bucket.claimed
             return {
                 "results": results,
                 "pending": pending,
                 "claimed": claimed,
             }
 
+    def _do_cancel(self, ids: Iterable[str]) -> int:
+        cancelled = 0
+        for task_id in ids:
+            task_id = str(task_id)
+            key = bucket_key(task_id)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                continue
+            if bucket.tasks.pop(task_id, None) is not None:
+                cancelled += 1
+                index = bisect.bisect_left(bucket.order, task_id)
+                if index < len(bucket.order) and bucket.order[index] == task_id:
+                    bucket.order.pop(index)
+            cancelled += bucket.claimed.pop(task_id, None) is not None
+            bucket.results.pop(task_id, None)
+            self._drop_if_empty(key)
+        return cancelled
+
     def cancel(self, ids: list[str]) -> int:
         """Withdraw a submission: nobody is waiting for these tasks."""
         with self._lock:
-            cancelled = 0
-            dropped_pending = False
-            for task_id in ids:
-                was_pending = self._tasks.pop(task_id, None) is not None
-                dropped_pending |= was_pending
-                cancelled += was_pending
-                cancelled += self._claimed.pop(task_id, None) is not None
-                self._results.pop(task_id, None)
-                self._touched.pop(task_id, None)
-            if dropped_pending:
-                self._order = [t for t in self._order if t in self._tasks]
+            cancelled = self._do_cancel(ids)
+            self._journal({"op": "cancel", "ids": [str(t) for t in ids]})
             return cancelled
 
     def stats(self) -> dict[str, Any]:
         now = self._now()
         with self._lock:
             self._expire(now)
+            buckets = [self._buckets[key] for key in self._keys]
             return {
-                "pending": len(self._tasks),
-                "claimed": len(self._claimed),
-                "results": len(self._results),
+                "pending": sum(len(b.tasks) for b in buckets),
+                "claimed": sum(len(b.claimed) for b in buckets),
+                "results": sum(len(b.results) for b in buckets),
+                "buckets": len(buckets),
+                "durable": self._store is not None,
                 "lease_s": self._lease_s,
                 "max_attempts": self._max_attempts,
             }
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Thin JSON shim over :class:`BrokerQueue`; no state of its own."""
+    """Thin JSON shim over :class:`BrokerQueue`; no state of its own.
+
+    With a ``token`` configured (``REPRO_BROKER_TOKEN``), every request
+    must carry ``Authorization: Bearer <token>`` — a constant-time
+    comparison, 401 on mismatch — before it reaches the queue.
+    """
 
     queue: BrokerQueue  # set by BrokerServer
+    token: str | None = None  # set by BrokerServer
     protocol_version = "HTTP/1.1"
+    # Keep-alive + Nagle is pathological for this protocol: headers and
+    # body go out as separate small segments, and Nagle holds the second
+    # for the peer's delayed ACK — ~40 ms added to every round trip.
+    disable_nagle_algorithm = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # a fleet heartbeating every lease/4 would drown stderr
@@ -372,7 +692,29 @@ class _Handler(BaseHTTPRequestHandler):
         raw = self.rfile.read(length) if length else b"{}"
         return json.loads(raw.decode("utf-8"))
 
+    def _authorized(self) -> bool:
+        if not self.token:
+            return True
+        supplied = self.headers.get("Authorization") or ""
+        expected = f"Bearer {self.token}"
+        return hmac.compare_digest(
+            supplied.encode("utf-8"), expected.encode("utf-8")
+        )
+
+    def _refuse_unauthorized(self) -> None:
+        self._reply(
+            401,
+            {
+                "error": "missing or invalid broker token; send "
+                f"'Authorization: Bearer <token>' (set {BROKER_TOKEN_ENV_VAR} "
+                "in the client environment)"
+            },
+        )
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if not self._authorized():
+            self._refuse_unauthorized()
+            return
         if self.path.split("?", 1)[0] == "/stats":
             self._reply(200, self.queue.stats())
         else:
@@ -383,6 +725,10 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._body()
         except (ValueError, UnicodeDecodeError) as exc:
             self._reply(400, {"error": f"bad JSON body: {exc}"})
+            return
+        if not self._authorized():
+            # Body read first so the keep-alive stream stays in sync.
+            self._refuse_unauthorized()
             return
         route = self.path.split("?", 1)[0]
         try:
@@ -425,10 +771,18 @@ class BrokerServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], queue: BrokerQueue) -> None:
-        handler = type("BoundHandler", (_Handler,), {"queue": queue})
+    def __init__(
+        self,
+        address: tuple[str, int],
+        queue: BrokerQueue,
+        token: str | None = None,
+    ) -> None:
+        handler = type(
+            "BoundHandler", (_Handler,), {"queue": queue, "token": token}
+        )
         super().__init__(address, handler)
         self.queue = queue
+        self.token = token
 
     @property
     def url(self) -> str:
@@ -443,18 +797,32 @@ def start_broker(
     lease_s: float | None = None,
     max_attempts: int | None = None,
     ttl_s: float | None = None,
+    token: str | None = None,
+    store_dir: str | None = None,
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    fsync: bool = False,
 ) -> BrokerServer:
     """Start a broker on a background thread; returns the live server.
 
     ``port=0`` picks a free port — read the result's ``.url``.  Shut it
-    down with ``server.shutdown(); server.server_close()``.  This is
+    down with ``server.shutdown(); server.server_close()``.  ``token``
+    defaults to ``REPRO_BROKER_TOKEN`` (``None`` with the variable
+    unset: open broker); ``store_dir`` makes the queue durable.  This is
     what :class:`~repro.experiment.backends.broker_client.BrokerBackend`
     uses for its private per-run broker, and what tests use to get a
     real HTTP broker without a subprocess.
     """
+    store = (
+        BrokerStore(store_dir, snapshot_every=snapshot_every, fsync=fsync)
+        if store_dir
+        else None
+    )
     server = BrokerServer(
         (host, port),
-        BrokerQueue(lease_s=lease_s, max_attempts=max_attempts, ttl_s=ttl_s),
+        BrokerQueue(
+            lease_s=lease_s, max_attempts=max_attempts, ttl_s=ttl_s, store=store
+        ),
+        token=token if token is not None else default_broker_token(),
     )
     thread = threading.Thread(
         target=server.serve_forever,
@@ -475,10 +843,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--host",
         default="127.0.0.1",
-        help="bind address (0.0.0.0 to accept a remote fleet; the protocol "
-        "is unauthenticated, so bind to trusted networks only)",
+        help="bind address (0.0.0.0 to accept a remote fleet; set "
+        f"{BROKER_TOKEN_ENV_VAR} before binding beyond a trusted network)",
     )
     parser.add_argument("--port", type=int, default=8123, help="bind port")
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="journal + snapshot directory; with it the broker is durable — "
+        "a restart on the same directory recovers every pending task, live "
+        "claim and uncollected result (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=DEFAULT_SNAPSHOT_EVERY,
+        help="journal records between snapshot checkpoints "
+        f"(default: {DEFAULT_SNAPSHOT_EVERY})",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every journal append (host-crash durability; the "
+        "default flush already survives any broker process death)",
+    )
     parser.add_argument(
         "--lease-s",
         type=float,
@@ -497,25 +886,42 @@ def main(argv: list[str] | None = None) -> int:
         "--ttl-s",
         type=float,
         default=None,
-        help="drop tasks/results of submissions idle this long — "
-        "abandoned-submitter garbage collection (default: one week)",
+        help="drop submissions idle this long — abandoned-submitter "
+        "garbage collection (default: one week)",
     )
     args = parser.parse_args(argv)
+    store = (
+        BrokerStore(
+            args.store_dir, snapshot_every=args.snapshot_every, fsync=args.fsync
+        )
+        if args.store_dir
+        else None
+    )
+    token = default_broker_token()
     server = BrokerServer(
         (args.host, args.port),
         BrokerQueue(
             lease_s=args.lease_s,
             max_attempts=args.max_attempts,
             ttl_s=args.ttl_s,
+            store=store,
         ),
+        token=token,
     )
-    print(f"repro broker listening on {server.url}", flush=True)
+    durability = f"durable store {args.store_dir}" if args.store_dir else "in-memory"
+    auth = "token auth on" if token else "unauthenticated"
+    print(
+        f"repro broker listening on {server.url} ({durability}, {auth})",
+        flush=True,
+    )
     try:
         server.serve_forever(poll_interval=0.2)
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
         server.server_close()
+        if store is not None:
+            store.close()
     return 0
 
 

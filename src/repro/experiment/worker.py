@@ -35,7 +35,9 @@ queue — including the store's measured-cost ledger, which future
 submissions' sweep planners use to dispatch slowest-first by observed
 cost rather than heuristic.
 
-Typical remote session (no shared filesystem)::
+Typical remote session (no shared filesystem; export the same
+``REPRO_BROKER_TOKEN`` on every host when the broker requires one —
+an unauthenticated worker is refused with 401 and exits)::
 
     # anywhere the fleet can reach:
     python -m repro.experiment.broker --host 0.0.0.0 --port 8123
@@ -79,6 +81,7 @@ from repro.experiment.backends import (
     requeue_expired_claims,
     run_spec_payload,
 )
+from repro.experiment.backends.queue_common import PollBackoff
 
 if TYPE_CHECKING:
     from repro.experiment.cache import ResultCache
@@ -365,6 +368,14 @@ def drain(
     # claimed envelope on every empty tick.
     recover_every = max(poll_interval_s, default_lease_s() / 8.0)
     next_recover = 0.0
+    # Consecutive empty claims back off exponentially (jittered, capped
+    # well below a lease) — an idle fleet parked on a shared broker
+    # between submissions must not keep hammering it at 20 Hz; the first
+    # task that lands resets to the base interval.
+    idle_backoff = PollBackoff(
+        poll_interval_s,
+        max(poll_interval_s, min(default_lease_s() / 4.0, 2.0)),
+    )
 
     def flush_cache() -> None:
         nonlocal cache_dirty
@@ -406,11 +417,11 @@ def drain(
                     and time.monotonic() - idle_since > idle_timeout_s
                 ):
                     break
-                time.sleep(
-                    max(poll_interval_s, 0.5) if outage else poll_interval_s
-                )
+                delay = idle_backoff.next_delay()
+                time.sleep(max(delay, 0.5) if outage else delay)
                 continue
             envelope, token = task
+            idle_backoff.reset()
             _chaos_kill(str(envelope.get("id", "")))
             cache_dirty = _execute(client, envelope, token, cache) or cache_dirty
             executed += 1
@@ -501,14 +512,23 @@ def main(argv: list[str] | None = None) -> int:
     else:
         client = FileQueueClient(args.queue_dir, match=args.match)
         source = args.queue_dir
-    executed = drain(
-        client,
-        max_tasks=args.max_tasks,
-        idle_timeout_s=args.idle_timeout_s,
-        poll_interval_s=args.poll_interval_s,
-        exit_when_empty=args.exit_when_empty,
-        cache=cache,
-    )
+    try:
+        executed = drain(
+            client,
+            max_tasks=args.max_tasks,
+            idle_timeout_s=args.idle_timeout_s,
+            poll_interval_s=args.poll_interval_s,
+            exit_when_empty=args.exit_when_empty,
+            cache=cache,
+        )
+    except PermissionError as exc:
+        # BrokerAuthError: a rejected token never heals by retrying —
+        # refuse to run rather than spin against 401s.
+        print(
+            f"error: the broker refused this worker's credentials: {exc}",
+            flush=True,
+        )
+        return 2
     print(f"drained {executed} task(s) from {source}")
     return 0
 

@@ -43,6 +43,7 @@ _QUEUE_MODULES = (
     "repro/experiment/cache.py",
     "repro/experiment/backends/**",
     "repro/experiment/broker.py",
+    "repro/experiment/broker_store.py",
     "repro/experiment/worker.py",
 )
 
@@ -121,6 +122,7 @@ class LintConfig:
                 "RPL202": (
                     "repro/experiment/backends/**",
                     "repro/experiment/broker.py",
+                    "repro/experiment/broker_store.py",
                     "repro/experiment/worker.py",
                 ),
                 # RPL203 (os.rename) applies everywhere: every rename in
@@ -149,6 +151,9 @@ class LintConfig:
                     "_chaos_kill",
                     # queue_common.py — drainer log cleanup
                     "remove_logs",
+                    # broker_store.py — journal generations a snapshot
+                    # has superseded (checkpoint compaction)
+                    "_retire_journals",
                 }
             ),
         )

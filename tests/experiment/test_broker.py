@@ -20,8 +20,13 @@ from repro.experiment import (
     BrokerClient,
     SerialBackend,
 )
-from repro.experiment.backends import BrokerUnavailable, task_envelope
-from repro.experiment.broker import BrokerQueue, start_broker
+from repro.experiment.backends import (
+    BROKER_TOKEN_ENV_VAR,
+    BrokerAuthError,
+    BrokerUnavailable,
+    task_envelope,
+)
+from repro.experiment.broker import BrokerQueue, bucket_key, start_broker
 from repro.experiment.worker import BrokerQueueClient, drain
 
 from _helpers import FAST_SPEC
@@ -188,6 +193,130 @@ class TestBrokerQueueProtocol:
         assert queue.stats()["pending"] == 1
 
 
+class TestPollBackoff:
+    """Idle-poll throttling: a shared broker must not be hammered at a
+    flat 20 Hz by tenants with nothing to do."""
+
+    def test_grace_then_exponential_growth_to_the_cap(self):
+        from repro.experiment.backends import PollBackoff
+
+        backoff = PollBackoff(0.05, 2.0, grace=2)
+        delays = [backoff.next_delay() for _ in range(12)]
+        # Jitter is a uniform factor in [0.5, 1.0]: bounds, not exact values.
+        for delay in delays[:2]:  # grace window: flat base rate
+            assert 0.025 <= delay <= 0.05
+        assert delays[4] > delays[2]  # then growth...
+        for delay in delays[-3:]:  # ...saturating at the cap
+            assert 1.0 <= delay <= 2.0
+
+    def test_progress_resets_to_the_base(self):
+        from repro.experiment.backends import PollBackoff
+
+        backoff = PollBackoff(0.05, 2.0, grace=0)
+        for _ in range(10):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.next_delay() <= 0.05
+
+    def test_cap_never_exceeded_even_with_a_tiny_base(self):
+        from repro.experiment.backends import PollBackoff
+
+        backoff = PollBackoff(0.001, 0.5, grace=0)
+        assert all(backoff.next_delay() <= 0.5 for _ in range(64))
+
+
+class TestSubmissionBuckets:
+    """Per-submission-prefix bucketing: the multi-tenant scaling fix."""
+
+    def test_bucket_key_is_the_id_up_to_the_final_dash(self):
+        assert bucket_key("job-00042") == "job-"
+        assert bucket_key("a1b2-c3d4-00000") == "a1b2-c3d4-"
+        assert bucket_key("nodash") == "nodash"
+
+    def test_stats_counts_buckets(self, queue):
+        queue.submit(envelopes("alpha-00000", "alpha-00001", "beta-00000"))
+        assert queue.stats()["buckets"] == 2
+        assert not queue.stats()["durable"]
+
+    def test_tenants_are_isolated_end_to_end(self, queue):
+        """Two interleaved submissions: claims, results and collects
+        scoped by prefix never observe each other."""
+        queue.submit(envelopes("alpha-00000", "beta-00000", "alpha-00001"))
+        assert queue.claim(match="beta-")["id"] == "beta-00000"
+        queue.result({"id": "beta-00000", "result": {"ok": "b"}})
+        alpha = queue.collect(match="alpha-")
+        assert alpha == {"results": [], "pending": 2, "claimed": 0}
+        beta = queue.collect(match="beta-")
+        assert [e["id"] for e in beta["results"]] == ["beta-00000"]
+        assert beta["pending"] == 0 and beta["claimed"] == 0
+
+    def test_cancel_of_one_tenant_leaves_the_other_whole(self, queue):
+        queue.submit(envelopes("alpha-00000", "beta-00000"))
+        assert queue.cancel(["alpha-00000"]) == 1
+        assert queue.stats()["buckets"] == 1  # emptied bucket dropped
+        assert queue.claim(match="beta-")["id"] == "beta-00000"
+
+    def test_coarse_match_spans_buckets(self, queue):
+        """A prefix shorter than a full submission key still reaches
+        every bucket it addresses — claim order stays global id order."""
+        queue.submit(envelopes("run1-00000", "run2-00000"))
+        assert queue.claim(match="run")["id"] == "run1-00000"
+        assert queue.claim(match="run")["id"] == "run2-00000"
+        response = queue.collect(match="run")
+        assert response["claimed"] == 2
+
+
+class TestBrokerAuth:
+    """The shared-secret header: what lets a broker bind beyond localhost."""
+
+    @pytest.fixture
+    def server(self, monkeypatch):
+        monkeypatch.delenv(BROKER_TOKEN_ENV_VAR, raising=False)
+        server = start_broker(lease_s=30.0, token="s3cret")
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_missing_token_is_refused_with_401(self, server):
+        client = BrokerClient(server.url)  # env is clean: no token sent
+        with pytest.raises(BrokerAuthError, match="refused"):
+            client.stats()
+
+    def test_wrong_token_is_refused_with_401(self, server):
+        client = BrokerClient(server.url, token="wr0ng")
+        with pytest.raises(BrokerAuthError, match="refused"):
+            client.submit(envelopes("a-00000"))
+
+    def test_matching_token_round_trips(self, server):
+        client = BrokerClient(server.url, token="s3cret")
+        assert client.submit(envelopes("a-00000")) == 1
+        task = client.claim(match="a-", worker="t")
+        assert task is not None and task["id"] == "a-00000"
+        assert client.result({"id": "a-00000", "result": {"ok": 1}})
+        assert client.collect(["a-00000"])["results"][0]["result"] == {"ok": 1}
+
+    def test_token_defaults_from_the_environment(self, server, monkeypatch):
+        """Export REPRO_BROKER_TOKEN and every client — submitter,
+        worker, spawned drainer — is armed without code changes."""
+        monkeypatch.setenv(BROKER_TOKEN_ENV_VAR, "s3cret")
+        assert BrokerClient(server.url).stats()["pending"] == 0
+
+    def test_auth_error_is_not_swallowed_as_an_outage(self):
+        """BrokerAuthError must not be a ConnectionError: retry loops
+        treat those as transient, but a 401 never heals by waiting."""
+        assert not issubclass(BrokerAuthError, ConnectionError)
+        assert issubclass(BrokerAuthError, PermissionError)
+
+    def test_unauthenticated_worker_refuses_to_run(self, server):
+        with pytest.raises(BrokerAuthError):
+            drain(BrokerQueueClient(server.url), exit_when_empty=True)
+
+    def test_unauthenticated_submitter_refuses_to_run(self, server):
+        backend = BrokerBackend(server.url, workers=1, timeout_s=30.0)
+        with pytest.raises(BackendError, match="token"):
+            backend.run([FAST_SPEC.to_dict()])
+
+
 class TestBrokerHTTP:
     """The same protocol through a real socket."""
 
@@ -216,6 +345,26 @@ class TestBrokerHTTP:
         client = BrokerClient(server.url)
         with pytest.raises(BrokerUnavailable, match="404"):
             client._request("/quantum", {})
+
+    def test_requests_reuse_one_keepalive_connection(self, server):
+        """The connection-churn fix: one TCP connection per thread, not
+        one per request (the dominant slice of broker overhead)."""
+        client = BrokerClient(server.url)
+        client.stats()
+        first = client._connection()
+        client.stats()
+        client.submit(envelopes("k-00000"))
+        assert client._connection() is first
+        client.close()
+        assert getattr(client._local, "connection", None) is None
+
+    def test_client_recovers_from_a_dropped_connection(self, server):
+        """A keep-alive socket the server closed surfaces on the *next*
+        request; the client retries once on a fresh connection."""
+        client = BrokerClient(server.url)
+        client.stats()
+        client._connection().sock.close()  # simulate server-side idle drop
+        assert client.stats()["pending"] == 0  # healed transparently
 
     def test_unreachable_broker_raises(self):
         client = BrokerClient("http://127.0.0.1:1", timeout_s=0.5)

@@ -20,6 +20,9 @@ consumed atomically by its victim) and ``REPRO_WORKER_KILL_MATCH``
 from __future__ import annotations
 
 import json
+import subprocess
+import sys
+import threading
 import time
 
 import pytest
@@ -28,19 +31,24 @@ from repro.experiment import (
     BackendError,
     BatchRunner,
     BrokerBackend,
+    BrokerClient,
     SerialBackend,
     WorkQueueBackend,
     seed_sweep,
 )
 from repro.experiment.backends import CLAIMED_DIR, ensure_queue_dirs, task_envelope
+from repro.experiment.backends.queue_common import worker_subprocess_env
 from repro.experiment.backends.work_queue import (
     RESULTS_DIR,
     TASKS_DIR,
     _atomic_write_json,
     requeue_expired_claims,
 )
+from repro.experiment.worker import BrokerQueueClient, drain
 
-from _helpers import FAST_SPEC, canonical_batch as canonical
+from _helpers import FAST_SPEC, canonical_batch, strip_runtime
+from _helpers import canonical as canonical_payloads
+from _helpers import canonical_batch as canonical
 
 #: Short enough that a recovery test finishes in seconds, long enough
 #: that a live worker's quarter-lease heartbeats never miss it.
@@ -125,6 +133,139 @@ class TestSigkilledWorkerRecovery:
         assert "-00000" in message  # the culprit task is named
         assert "2 time(s)" in message and "max_attempts=2" in message
         assert "timed out" not in message
+
+
+def _start_broker_proc(store_dir, port: int, lease_s: float = 30.0):
+    """A real broker subprocess; returns ``(proc, url)`` once listening."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiment.broker",
+            "--port",
+            str(port),
+            "--store-dir",
+            str(store_dir),
+            "--lease-s",
+            str(lease_s),
+            "--snapshot-every",
+            "4",  # small: the kill window straddles snapshot rotations
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=worker_subprocess_env(),
+    )
+    line = proc.stdout.readline()  # "repro broker listening on <url> ..."
+    assert "listening on" in line, f"broker failed to start: {line!r}"
+    url = line.split("listening on", 1)[1].strip().split()[0]
+    return proc, url
+
+
+class TestBrokerRestartDurability:
+    """The tentpole: a SIGKILL'd *broker* must not lose the sweep.
+
+    Worker death was already survivable (lease requeues, above); before
+    the store, broker death silently dropped every in-flight submission.
+    These kills are real SIGKILLs of real broker subprocesses, restarted
+    on the same ``--store-dir``."""
+
+    @pytest.mark.slow
+    def test_sigkilled_broker_restart_loses_no_task_and_no_result(
+        self, sweep, reference, tmp_path
+    ):
+        """Protocol-level: submit, finish one task, SIGKILL the broker,
+        restart on the same store — the finished result and both
+        unfinished tasks are all still there, and the completed sweep is
+        byte-identical to SerialBackend."""
+        store = tmp_path / "broker-store"
+        task_ids = [f"job-{index:05d}" for index in range(len(sweep))]
+        proc, url = _start_broker_proc(store, port=0)
+        try:
+            client = BrokerClient(url)
+            client.submit(
+                [
+                    task_envelope(task_id, spec.to_dict(), lease_s=30.0)
+                    for task_id, spec in zip(task_ids, sweep)
+                ]
+            )
+            # One cell finishes before the crash...
+            assert drain(BrokerQueueClient(url, match="job-"), max_tasks=1) == 1
+            assert client.stats()["results"] == 1
+            client.close()
+        finally:
+            proc.kill()  # ...and the broker dies mid-sweep, no goodbye
+            proc.wait(timeout=10.0)
+        port = int(url.rsplit(":", 1)[1])
+        proc, restarted_url = _start_broker_proc(store, port=port)
+        try:
+            assert restarted_url == url  # same address: clients reconnect
+            client = BrokerClient(url)
+            stats = client.stats()
+            # Zero loss: the finished payload and both remaining tasks.
+            assert stats["results"] == 1
+            assert stats["pending"] + stats["claimed"] == len(sweep) - 1
+            # The sweep completes against the revived broker...
+            drain(BrokerQueueClient(url, match="job-"), exit_when_empty=True)
+            response = client.collect(match="job-")
+            by_id = {env["id"]: env for env in response["results"]}
+            assert sorted(by_id) == task_ids
+            assert all(env.get("error") is None for env in by_id.values())
+            # ...byte-identical to the serial reference.
+            payloads = [strip_runtime(by_id[tid]["result"]) for tid in task_ids]
+            assert canonical_payloads(payloads) == canonical_batch(reference)
+            client.close()
+        finally:
+            proc.kill()
+            proc.wait(timeout=10.0)
+
+    @pytest.mark.slow
+    def test_sweep_rides_out_a_broker_restart_end_to_end(
+        self, sweep, reference, tmp_path
+    ):
+        """Full stack: BatchRunner + BrokerBackend + real drainers, with
+        the broker SIGKILL'd and restarted mid-sweep by a chaos thread.
+        The submitter's outage handling and the workers' result-POST
+        retries must carry the run across the gap."""
+        store = tmp_path / "broker-store"
+        proc, url = _start_broker_proc(store, port=0, lease_s=TEST_LEASE_S)
+        port = int(url.rsplit(":", 1)[1])
+        restarted: dict = {}
+
+        def chaos() -> None:
+            watcher = BrokerClient(url, timeout_s=2.0)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    stats = watcher.stats()
+                except ConnectionError:
+                    time.sleep(0.1)
+                    continue
+                if stats["claimed"] >= 1 or stats["results"] >= 1:
+                    break  # the sweep is genuinely mid-flight
+                time.sleep(0.02)
+            watcher.close()
+            proc.kill()
+            proc.wait(timeout=10.0)
+            time.sleep(0.5)  # a visible outage, well under timeout_s
+            restarted["proc"], restarted["url"] = _start_broker_proc(
+                store, port=port, lease_s=TEST_LEASE_S
+            )
+
+        killer = threading.Thread(target=chaos, daemon=True)
+        killer.start()
+        backend = BrokerBackend(
+            url, workers=2, lease_s=TEST_LEASE_S, timeout_s=120.0
+        )
+        try:
+            batch = BatchRunner(sweep, backend=backend, cache=False).run()
+        finally:
+            killer.join(timeout=90.0)
+            if "proc" in restarted:
+                restarted["proc"].kill()
+                restarted["proc"].wait(timeout=10.0)
+        assert restarted.get("url") == url  # the restart really happened
+        assert canonical(batch) == canonical(reference)
 
 
 class TestFileQueueLeaseUnits:

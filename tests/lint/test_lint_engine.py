@@ -180,6 +180,18 @@ class TestScoping:
         assert config.applies("RPL104", "repro/sim/network.py")
         assert config.applies("RPL104", "repro/engine.py")
 
+    def test_broker_store_is_inside_the_atomic_io_scope(self) -> None:
+        """The durability store is exactly the code RPL201/202/203 exist
+        for: it must be in scope with zero suppressions, and its one
+        deletion site (checkpoint compaction) must be a *blessed*
+        helper, not an ad-hoc carveout of the rule."""
+        config = LintConfig.default()
+        store = "repro/experiment/broker_store.py"
+        assert config.applies("RPL201", store)
+        assert config.applies("RPL202", store)
+        assert config.applies("RPL203", store)
+        assert "_retire_journals" in config.blessed_unlink_functions
+
 
 class TestReportAndCli:
     def test_json_output_schema(self, tmp_path: Path) -> None:
