@@ -1,0 +1,87 @@
+"""Perf-smoke canary: engine dispatch rate vs the committed record.
+
+Run as a script (CI's non-blocking ``perf-smoke`` job, or locally)::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Measures the raw kernel dispatch rate — the same self-rescheduling
+microbenchmark ``benchmarks/test_sim_core.py`` records as
+``engine_events_per_s`` — and exits nonzero when the best of three runs
+falls more than ``TOLERANCE`` below the reference: the local
+``BENCH_sim.json`` when one exists (it is a gitignored artifact of a
+benchmark run), else ``REFERENCE_RATE`` recorded below from the last
+full benchmark session.  The threshold is deliberately loose: shared
+runners carry real noise, and the job that runs this is
+``continue-on-error`` — the point is a loud early warning between full
+benchmark runs, not a merge gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.engine import Simulator
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sim.json"
+
+#: Dispatch rate from the last full benchmark session on the reference
+#: box — the fallback when no local BENCH_sim.json artifact exists
+#: (fresh checkouts, CI).  Refresh alongside benchmark reruns.
+REFERENCE_RATE = 1_260_303.0
+
+#: Fraction of the reference rate the measurement must reach.
+TOLERANCE = 0.70
+EVENTS = 200_000
+RUNS = 3
+
+
+def engine_events_per_s(events: int = EVENTS) -> float:
+    """Best-effort raw dispatch rate (one run)."""
+    sim = Simulator()
+    remaining = events
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(1e-6, tick)
+    start = time.perf_counter()
+    sim.run()
+    return events / (time.perf_counter() - start)
+
+
+def main() -> int:
+    if BENCH_PATH.exists():
+        committed = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        recorded = float(committed["engine_events_per_s"])
+        source = "local BENCH_sim.json"
+    else:
+        recorded = REFERENCE_RATE
+        source = "recorded reference"
+    measured = max(engine_events_per_s() for _ in range(RUNS))
+    floor = TOLERANCE * recorded
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"engine_events_per_s: measured {measured:,.0f} "
+        f"vs {source} {recorded:,.0f} "
+        f"(floor {floor:,.0f} = {TOLERANCE:.0%}) -> {verdict}"
+    )
+    if measured < floor:
+        print(
+            "engine dispatch rate regressed more than "
+            f"{1 - TOLERANCE:.0%} against the {source} — profile with "
+            "`python -m repro.sim.profile fig14-cell` and bisect the "
+            "scheduler/engine hot path.",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,12 +1,13 @@
 """Simulation-core throughput — the hot path's speed, as data.
 
-Not a paper figure: a harness figure.  This PR's fast path (precomputed
-pairwise power tables, tuple-packed event heap, fused carrier-sense
-update loops) is justified by wall clock alone — behaviour is pinned
-byte-identical by the experiment goldens and the sim trace goldens — so
-the wall clock must be recorded where regressions show up as data, not
-vibes.  Three rates land in ``BENCH_sim.json`` next to the other
-``BENCH_*.json`` records:
+Not a paper figure: a harness figure.  The sim-core fast path
+(precomputed pairwise power tables, the calendar-queue scheduler,
+memoized reception resolution, fused carrier-sense update loops) is
+justified by wall clock alone — behaviour is pinned byte-identical by
+the experiment goldens and the sim trace goldens — so the wall clock
+must be recorded where regressions show up as data, not vibes.  Three
+rates land in ``BENCH_sim.json`` next to the other ``BENCH_*.json``
+records:
 
 * ``engine_events_per_s`` — raw kernel dispatch (schedule + pop + call
   of trivial callbacks), the ceiling everything else sits under;
@@ -44,14 +45,55 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sim.json"
 
 #: Cold wall clocks measured on this harness immediately before the
 #: fast-path PR (commit 90a51a0), same benchmarks, same machine class.
-#: The acceptance bar for the optimization work was >=2x on the cold
-#: Figure 14 grid.  Single-run timings on a shared box carry ~20% noise;
-#: judge regressions on the trend, not one sample.
+#: Single-run timings on a shared box carry ~20% noise (day-to-day
+#: machine drift has been observed at 2x); judge regressions on the
+#: trend — and speedups on same-day A/B pairs — not one sample.
 BASELINE_PRE_PR = {
     "fig13_cold_wall_s": 1.1,
     "fig14_cold_wall_s": 22.5,
     "fig14_cell_cold_wall_s": 1.977,
 }
+
+#: The pre-PR cell re-measured from a ``90a51a0`` worktree alongside the
+#: calendar-queue PR's final measurement (interleaved subprocess runs,
+#: min of 6).  This is the honest same-day denominator for the cell
+#: speedup: the original 1.977 was recorded on a ~10%-slower day.
+BASELINE_PRE_PR_REMEASURED = {
+    "fig14_cell_cold_wall_s": 1.808,
+}
+
+#: Cold fig14-cell trajectory across the optimization stages.  All but
+#: the last entry are history — medians recorded when each stage landed
+#: (~20% box noise applies across entries).  The final entry is appended
+#: at benchmark time from the *same* measured run that produces the
+#: headline ``fig14_cell_cold_wall_s``, so headline and trajectory can
+#: never disagree again.
+STAGE_HISTORY = [
+    {"stage": "pre-PR baseline", "fig14_cell_cold_s": 1.977},
+    {
+        "stage": "precomputed power tables + PER/airtime memos",
+        "fig14_cell_cold_s": 1.42,
+    },
+    {
+        "stage": "tuple-packed event heap + __slots__ events",
+        "fig14_cell_cold_s": 1.115,
+    },
+    {
+        "stage": "fused sensed/busy loops + buffered RNG + slots frames",
+        "fig14_cell_cold_s": 0.97,
+    },
+    {
+        "stage": "calendar-queue scheduler + fused run_due dispatch",
+        "fig14_cell_cold_s": 0.98,
+    },
+    {
+        "stage": "reception-resolution memo + monotone busy/idle flips",
+        "fig14_cell_cold_s": 0.91,
+    },
+]
+
+#: Label of the live stage appended by :func:`test_sim_core_throughput`.
+CURRENT_STAGE = "notification elision + pre-bound callbacks + GC pause"
 
 #: One Figure 14 grid cell (random_multiflow / tcp / Prop variant) —
 #: the repeated unit whose cost dominates the figure sweeps.
@@ -124,6 +166,11 @@ def test_sim_core_throughput(benchmark):
                 "fig14_cell_speedup_vs_pre_pr": round(
                     BASELINE_PRE_PR["fig14_cell_cold_wall_s"] / cell_wall_s, 2
                 ),
+                "fig14_cell_speedup_vs_pre_pr_same_day": round(
+                    BASELINE_PRE_PR_REMEASURED["fig14_cell_cold_wall_s"]
+                    / cell_wall_s,
+                    2,
+                ),
             }
         )
         return record
@@ -146,22 +193,13 @@ def test_sim_core_throughput(benchmark):
             baseline / max(walls["cold_wall_s"], 1e-9), 2
         )
 
-    #: Cold fig14-cell trajectory across the optimization stages, as
-    #: measured during the fast-path work (medians of 5, ~20% box noise).
-    stages = [
-        {"stage": "pre-PR baseline", "fig14_cell_cold_s": 1.977},
+    # The trajectory's final entry is the run just measured: one number
+    # feeds both the headline and the stage list, atomically.
+    stages = STAGE_HISTORY + [
         {
-            "stage": "precomputed power tables + PER/airtime memos",
-            "fig14_cell_cold_s": 1.42,
-        },
-        {
-            "stage": "tuple-packed event heap + __slots__ events",
-            "fig14_cell_cold_s": 1.115,
-        },
-        {
-            "stage": "fused sensed/busy loops + buffered RNG + slots frames",
-            "fig14_cell_cold_s": 0.97,
-        },
+            "stage": CURRENT_STAGE,
+            "fig14_cell_cold_s": record["fig14_cell_cold_wall_s"],
+        }
     ]
 
     benchmark.extra_info["sim_core"] = record
@@ -172,11 +210,15 @@ def test_sim_core_throughput(benchmark):
         json.dumps(
             {
                 "baseline_pre_pr": BASELINE_PRE_PR,
+                "baseline_pre_pr_remeasured": BASELINE_PRE_PR_REMEASURED,
                 "engine_events_per_s": record["engine_events_per_s"],
                 "mesh_events_per_s": record["mesh_events_per_s"],
                 "fig14_cell_cold_wall_s": record["fig14_cell_cold_wall_s"],
                 "fig14_cell_speedup_vs_pre_pr": record[
                     "fig14_cell_speedup_vs_pre_pr"
+                ],
+                "fig14_cell_speedup_vs_pre_pr_same_day": record[
+                    "fig14_cell_speedup_vs_pre_pr_same_day"
                 ],
                 "figures": figures,
                 "optimization_stages": stages,
@@ -204,9 +246,11 @@ def test_sim_core_throughput(benchmark):
     )
     report.add_comparison(
         "cold fig14 cell",
-        f"<= {BASELINE_PRE_PR['fig14_cell_cold_wall_s'] / 2:.2f}s (2x pre-PR)",
+        f"<= {BASELINE_PRE_PR['fig14_cell_cold_wall_s'] / 5:.2f}s "
+        "(ROADMAP 5x bar)",
         f"{record['fig14_cell_cold_wall_s']:.2f}s "
-        f"({record['fig14_cell_speedup_vs_pre_pr']:.2f}x)",
+        f"({record['fig14_cell_speedup_vs_pre_pr']:.2f}x recorded baseline, "
+        f"{record['fig14_cell_speedup_vs_pre_pr_same_day']:.2f}x same-day)",
     )
     report.emit()
 

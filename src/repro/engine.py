@@ -1,13 +1,19 @@
 """Discrete-event simulation kernel.
 
-A minimal, dependency-free event scheduler: the heap holds plain
-``(time, seq, Event)`` tuples so every heap comparison happens at C
-level (``seq`` is unique, so the ``Event`` object itself is never
-compared).  Cancellation is handled lazily by flagging the event and
-skipping it when popped, which keeps both ``schedule`` and ``cancel``
-O(log n) / O(1); the simulator counts cancelled-but-queued entries and
-compacts the heap in place once they dominate it, so a workload that
-schedules and cancels in a loop cannot grow the heap without bound.
+A minimal, dependency-free event scheduler.  The event queue itself is
+pluggable (see :mod:`repro.scheduler`): the default is a calendar queue
+— a window of fixed-width time buckets tuned for the DCF's dense
+short-horizon timer churn — with the original binary heap selectable as
+a fallback (``Simulator(scheduler="heap")``).  Both queues pop events
+in exactly ``(time, seq)`` order, so the choice can never change a
+simulation result; the equivalence property suite and the sim trace
+goldens pin this byte-for-byte.
+
+Cancellation is handled lazily by flagging the event and skipping it
+when popped, which keeps both ``schedule`` and ``cancel`` cheap; the
+scheduler counts cancelled-but-queued entries and compacts in place
+once they dominate, so a workload that schedules and cancels in a loop
+cannot grow the queue without bound.
 
 Every stochastic component of the simulator draws from RNG streams
 derived from the simulator seed, so a given scenario replays identically
@@ -25,18 +31,22 @@ exclusion.
 
 from __future__ import annotations
 
-import heapq
-import itertools
+import os
 import zlib
 from typing import Callable
 
 import numpy as np
 
-#: Compaction policy: rebuild the heap when more than this many entries
-#: are cancelled AND they make up over half the heap.  The absolute
-#: floor keeps tiny heaps from compacting on every cancel; the fraction
-#: bounds memory at ~2x the live event count.
-_COMPACT_MIN_CANCELLED = 64
+from repro.scheduler import SCHEDULER_KINDS, make_scheduler
+
+#: Environment override for the process-wide default scheduler kind —
+#: how the CI ``sim-identity`` matrix runs the identity suites under
+#: both queues without plumbing a parameter through every layer.
+SCHEDULER_ENV = "REPRO_SIM_SCHEDULER"
+
+#: Built-in default when neither the constructor nor the environment
+#: chooses: the calendar queue (the heap remains selectable).
+DEFAULT_SCHEDULER = "calendar"
 
 #: Process-wide fallback profiler (see :func:`set_default_profiler`).
 _DEFAULT_PROFILER = None
@@ -70,27 +80,27 @@ def rng_spawn_key(name: str) -> int:
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_sim")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sched")
 
     def __init__(
         self,
         time: float,
         seq: int,
         callback: Callable[[], None],
-        sim: "Simulator | None" = None,
+        sched=None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
-        self._sim = sim
+        self._sched = sched
 
     def cancel(self) -> None:
         """Mark the event so it is skipped when its time arrives."""
         if not self.cancelled:
             self.cancelled = True
-            if self._sim is not None:
-                self._sim._note_cancelled()
+            if self._sched is not None:
+                self._sched.note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics only
         state = " cancelled" if self.cancelled else ""
@@ -104,17 +114,33 @@ class Simulator:
         seed: master seed; per-component RNG streams are spawned from it
             via :meth:`rng_stream` so adding a component never perturbs
             the random draws of another.
+        scheduler: event-queue kind, ``"calendar"`` or ``"heap"`` (see
+            :mod:`repro.scheduler`).  ``None`` (the default) resolves
+            the ``REPRO_SIM_SCHEDULER`` environment variable, falling
+            back to the calendar queue.  Both kinds dispatch events in
+            identical order, so this is a performance knob, never a
+            behaviour knob.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, scheduler: str | None = None) -> None:
         self.now: float = 0.0
         self.seed = seed
-        self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV) or DEFAULT_SCHEDULER
+        if scheduler not in SCHEDULER_KINDS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; "
+                f"expected one of {', '.join(SCHEDULER_KINDS)}"
+            )
+        self.scheduler_kind = scheduler
+        self._sched = make_scheduler(scheduler)
+        self._push = self._sched.push
+        self._pop_due = self._sched.pop_due
+        self._run_due = self._sched.run_due
+        self._seq = 0
         self._rng = np.random.default_rng(seed)
         self._streams: dict[str, np.random.Generator] = {}
         self._processed = 0
-        self._cancelled_pending = 0
         #: Optional per-instance profiler (duck-typed, see module docs).
         self.profiler = None
 
@@ -135,9 +161,9 @@ class Simulator:
             if time < now - 1e-12:
                 raise ValueError(f"cannot schedule in the past: {time} < {now}")
             time = now
-        seq = next(self._counter)
-        event = Event(time, seq, callback, self)
-        heapq.heappush(self._heap, (time, seq, event))
+        self._seq = seq = self._seq + 1
+        event = Event(time, seq, callback, self._sched)
+        self._push(time, seq, event)
         return event
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
@@ -145,22 +171,10 @@ class Simulator:
         if delay < 0:
             raise ValueError("delay must be non-negative")
         time = self.now + delay
-        seq = next(self._counter)
-        event = Event(time, seq, callback, self)
-        heapq.heappush(self._heap, (time, seq, event))
+        self._seq = seq = self._seq + 1
+        event = Event(time, seq, callback, self._sched)
+        self._push(time, seq, event)
         return event
-
-    # ----------------------------------------------------------- cancellation
-    def _note_cancelled(self) -> None:
-        """Account a newly cancelled queued event; compact when they dominate."""
-        self._cancelled_pending = cancelled = self._cancelled_pending + 1
-        heap = self._heap
-        if cancelled > _COMPACT_MIN_CANCELLED and cancelled * 2 > len(heap):
-            # In-place rebuild so any live alias of the heap list (the
-            # run loop holds one) stays valid.
-            heap[:] = [entry for entry in heap if not entry[2].cancelled]
-            heapq.heapify(heap)
-            self._cancelled_pending = 0
 
     # --------------------------------------------------------------- running
     def run_until(self, end_time: float) -> None:
@@ -169,20 +183,10 @@ class Simulator:
         if profiler is not None:
             self._run_until_profiled(end_time, profiler)
             return
-        heap = self._heap
-        pop = heapq.heappop
-        processed = self._processed
-        try:
-            while heap and heap[0][0] <= end_time:
-                time, _seq, event = pop(heap)
-                if event.cancelled:
-                    self._cancelled_pending -= 1
-                    continue
-                self.now = time
-                processed += 1
-                event.callback()
-        finally:
-            self._processed = processed
+        # The dispatch loop lives in the scheduler (``run_due``) so each
+        # queue keeps its hot state in locals instead of paying a
+        # ``pop_due`` call per event.
+        self._run_due(self, end_time)
         if end_time > self.now:
             self.now = end_time
 
@@ -192,18 +196,16 @@ class Simulator:
         Kept separate so the unprofiled loop pays nothing; the clock is
         the profiler's own (the engine stays wall-clock free).
         """
-        heap = self._heap
-        pop = heapq.heappop
+        pop_due = self._pop_due
         clock = profiler.clock
         record = profiler.record
-        while heap and heap[0][0] <= end_time:
-            time, _seq, event = pop(heap)
-            if event.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            self.now = time
+        while True:
+            entry = pop_due(end_time)
+            if entry is None:
+                break
+            self.now = entry[0]
             self._processed += 1
-            callback = event.callback
+            callback = entry[2].callback
             start = clock()
             callback()
             record(callback, clock() - start)
@@ -213,26 +215,17 @@ class Simulator:
     def run(self) -> None:
         """Process every pending event (use with care: sources that
         reschedule themselves forever will never drain)."""
-        heap = self._heap
-        pop = heapq.heappop
-        while heap:
-            time, _seq, event = pop(heap)
-            if event.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            self.now = time
-            self._processed += 1
-            event.callback()
+        self._run_due(self, float("inf"))
 
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        return self._sched.live_count()
 
     @property
     def queued_entries(self) -> int:
-        """Raw heap size including lazily-cancelled entries (diagnostics)."""
-        return len(self._heap)
+        """Raw queue size including lazily-cancelled entries (diagnostics)."""
+        return len(self._sched)
 
     @property
     def processed_events(self) -> int:

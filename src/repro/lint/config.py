@@ -34,6 +34,7 @@ _SIM_LAYERS = (
     "repro/core/**",
     "repro/transport/**",
     "repro/engine.py",
+    "repro/scheduler.py",
 )
 
 #: Atomic-IO scope: the modules that speak the shared-directory JSON

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Optional
 
 from repro.mac.constants import ACK_FRAME_BYTES, DEFAULT_MAC_CONFIG, MacConfig
@@ -104,12 +103,20 @@ class DcfMac:
         # used, so the floats are bit-identical.
         self._difs_s = config.difs_s
         self._slot_s = config.slot_s
+        self._sifs_s = config.sifs_s
+        self._cw_min = config.cw_min
         self._ack_timeout_s = (
             config.sifs_s
             + frame_airtime(ACK_FRAME_BYTES, ack_rate)
             + config.ack_timeout_slack_s
         )
         self._medium_is_busy = medium.is_busy
+        # Pre-bound ACK sender: DATA receptions enqueue the ACK and
+        # schedule this single bound method instead of building a fresh
+        # ``partial`` per frame.  The outbox is FIFO and SIFS is a
+        # constant, so scheduling order equals send order.
+        self._ack_outbox: deque[Frame] = deque()
+        self._send_next_control = self._send_next_control_frame
         medium.register_mac(node_id, self)
 
     # ------------------------------------------------------------- queueing
@@ -145,7 +152,7 @@ class DcfMac:
         self.current = self.queue.popleft()
         if self.dequeue_callback is not None:
             self.dequeue_callback()
-        self._cw = self.config.cw_min
+        self._cw = self._cw_min
         self._backoff_slots = int(self._rng.integers(0, self._cw + 1))
         self._try_access()
 
@@ -165,7 +172,12 @@ class DcfMac:
         self._access_event = self.sim.schedule(delay, self._transmit_current)
 
     def on_medium_busy(self) -> None:
-        """Carrier sense went busy: freeze the backoff countdown."""
+        """Carrier sense went busy: freeze the backoff countdown.
+
+        The medium elides this call while ``self._access_event is None``
+        (see :class:`repro.mac.medium.MacListener`), so any new side
+        effect added here must keep that guard a faithful no-op test.
+        """
         event = self._access_event
         if event is None:
             return
@@ -177,8 +189,27 @@ class DcfMac:
         self._access_event = None
 
     def on_medium_idle(self) -> None:
-        """Carrier sense went idle: resume (or start) channel access."""
-        self._try_access()
+        """Carrier sense went idle: resume (or start) channel access.
+
+        This is ``_try_access`` with the carrier-sense re-check elided:
+        the medium invokes it synchronously at the moment it flipped
+        this node's busy state to idle, so ``is_busy`` is False by
+        construction (not transmitting, sensed energy below threshold).
+        The medium also elides the call entirely while ``self.current is
+        None`` (see :class:`repro.mac.medium.MacListener`), so any new
+        side effect added here must keep that guard a faithful no-op
+        test.
+        """
+        if (
+            self.current is None
+            or self._access_event is not None
+            or self._transmitting
+            or self._waiting_ack
+        ):
+            return
+        self._access_idle_start = self.sim.now
+        delay = self._difs_s + self._backoff_slots * self._slot_s
+        self._access_event = self.sim.schedule(delay, self._transmit_current)
 
     def _transmit_current(self) -> None:
         self._access_event = None
@@ -225,8 +256,8 @@ class DcfMac:
             return
         if frame.kind is FrameKind.DATA and frame.dst == self.node_id:
             self.stats.data_received += 1
-            ack = make_ack(frame, ACK_FRAME_BYTES, self.ack_rate)
-            self.sim.schedule(self.config.sifs_s, partial(self._send_control, ack))
+            self._ack_outbox.append(make_ack(frame, ACK_FRAME_BYTES, self.ack_rate))
+            self.sim.schedule(self._sifs_s, self._send_next_control)
             if self.rx_callback is not None:
                 self.rx_callback(frame.payload, from_id, frame)
             return
@@ -236,6 +267,9 @@ class DcfMac:
                 self.rx_callback(frame.payload, from_id, frame)
 
     # ------------------------------------------------------------- ACK logic
+    def _send_next_control_frame(self) -> None:
+        self._send_control(self._ack_outbox.popleft())
+
     def _send_control(self, ack: Frame) -> None:
         if self._transmitting:
             # Half duplex: we are mid-transmission; queue the ACK and send
@@ -274,7 +308,7 @@ class DcfMac:
     def _complete_current(self, success: bool) -> None:
         frame = self.current
         self.current = None
-        self._cw = self.config.cw_min
+        self._cw = self._cw_min
         if success:
             self.stats.successes += 1
         if frame is not None and self.tx_done_callback is not None:

@@ -50,7 +50,15 @@ from repro.engine import Simulator
 
 
 class MacListener(Protocol):
-    """What the medium expects from a registered MAC entity."""
+    """What the medium expects from a registered MAC entity.
+
+    Implementations may additionally expose the DCF guard attributes
+    ``_access_event`` and ``current``.  When both exist, the medium's
+    fused notification loops elide ``on_medium_busy`` calls while
+    ``_access_event is None`` and ``on_medium_idle`` calls while
+    ``current is None`` — exactly the conditions under which
+    :class:`repro.mac.dcf.DcfMac` makes those handlers no-ops.
+    """
 
     def on_medium_busy(self) -> None: ...
 
@@ -126,9 +134,13 @@ class WirelessMedium:
         self.capture = capture or CaptureModel()
         self.link_error_override = dict(link_error_override or {})
         self._macs: dict[int, MacListener] = {}
-        #: MAC notification order: (node_id, mac, index) in registration
-        #: order, mirroring the dict iteration the scalar path used.
-        self._mac_entries: list[tuple[int, MacListener, int]] = []
+        #: MAC notification order: (node_id, mac, index, hinted) in
+        #: registration order, mirroring the dict iteration the scalar
+        #: path used.  ``hinted`` records that the listener exposes the
+        #: DCF guard attributes (``_access_event``, ``current``) whose
+        #: None-ness makes ``on_medium_busy`` / ``on_medium_idle``
+        #: no-ops, letting the notification loops skip those calls.
+        self._mac_entries: list[tuple[int, MacListener, int, bool]] = []
         self._ongoing: dict[int, _Transmission] = {}
         self._transmitting: set[int] = set()
         self.loss_counts: Counter[str] = Counter()
@@ -143,6 +155,19 @@ class WirelessMedium:
         self._rand_pos = 0
         self._per_cache: dict[tuple[int, int, float, int], float] = {}
         self._airtime_cache: dict[tuple[int, float], float] = {}
+        # Interference-signature memo: link powers are frozen, so the
+        # whole deterministic part of reception resolution (weak /
+        # capture verdict, residual PER, partial-capture PER) is a pure
+        # function of ``(tx, rx, rate, length, peak interference)``.
+        # Saturated cells repeat the same few overlap patterns for the
+        # whole run, so after warm-up nearly every delivery is a single
+        # dict hit that skips the SINR/error-model math entirely.  The
+        # random draws stay *outside* the memo — the draw sequence is
+        # identical to the uncached path.
+        self._resolve_cache: dict[
+            tuple[int, int, float, int, float], tuple[str | None, float, float]
+        ] = {}
+        self._bcast_receivers: dict[tuple[int, float], list[int]] = {}
         self._build_power_tables()
 
     def _build_power_tables(self) -> None:
@@ -199,6 +224,10 @@ class WirelessMedium:
         self._sensed_rows = sensed_rows.tolist()
         self._sensed_mw = [0.0] * n
         self._busy_state = [False] * n
+        # Live (failure-free) reception count per node index, maintained
+        # incrementally so the rx-locked check is O(1) instead of a scan
+        # over every ongoing transmission.
+        self._rx_live = [0] * n
         self._cs_threshold_mw = dbm_to_mw(self.radio.cs_threshold_dbm)
         # One end-of-transmission callback per node, built once instead
         # of a fresh closure per frame.
@@ -211,15 +240,18 @@ class WirelessMedium:
         """Attach the MAC entity of ``node_id`` so it receives callbacks."""
         if node_id not in self.positions:
             raise KeyError(f"node {node_id} has no position in the medium")
+        hinted = hasattr(mac, "_access_event") and hasattr(mac, "current")
         if node_id in self._macs:
             # Re-registration replaces in place, keeping the original
             # notification position (dict-overwrite semantics).
-            for k, (existing, _, idx) in enumerate(self._mac_entries):
+            for k, (existing, _, idx, _) in enumerate(self._mac_entries):
                 if existing == node_id:
-                    self._mac_entries[k] = (node_id, mac, idx)
+                    self._mac_entries[k] = (node_id, mac, idx, hinted)
                     break
         else:
-            self._mac_entries.append((node_id, mac, self._node_index[node_id]))
+            self._mac_entries.append(
+                (node_id, mac, self._node_index[node_id], hinted)
+            )
         self._macs[node_id] = mac
 
     def add_frame_observer(
@@ -270,7 +302,7 @@ class WirelessMedium:
         threshold = self._cs_threshold_mw
         transmitting = self._transmitting
         busy_state = self._busy_state
-        for node_id, mac, idx in self._mac_entries:
+        for node_id, mac, idx, _ in self._mac_entries:
             busy = node_id in transmitting or sensed[idx] >= threshold
             if busy != busy_state[idx]:
                 busy_state[idx] = busy
@@ -283,23 +315,23 @@ class WirelessMedium:
     def _intended_receivers(self, tx_id: int, frame: Frame) -> list[int]:
         if not frame.is_broadcast:
             return [frame.dst] if frame.dst in self.positions else []
-        receivers = []
+        # Who hears a broadcast depends only on the (frozen) link powers
+        # and the rate's sensitivity — memoised per (tx, sensitivity).
         sensitivity = frame.rate.rx_sensitivity_dbm
-        row_dbm = self._pow_dbm_from[tx_id]
-        for node in self._node_ids:
-            if node == tx_id:
-                continue
-            if row_dbm[node] >= sensitivity:
-                receivers.append(node)
+        key = (tx_id, sensitivity)
+        receivers = self._bcast_receivers.get(key)
+        if receivers is None:
+            row_dbm = self._pow_dbm_from[tx_id]
+            receivers = self._bcast_receivers[key] = [
+                node
+                for node in self._node_ids
+                if node != tx_id and row_dbm[node] >= sensitivity
+            ]
         return receivers
 
     def _receiver_is_locked(self, rx_id: int) -> bool:
         """Whether ``rx_id`` is currently locked onto an ongoing frame."""
-        for tx in self._ongoing.values():
-            reception = tx.receptions.get(rx_id)
-            if reception is not None and reception.failure is None:
-                return True
-        return False
+        return self._rx_live[self._node_index[rx_id]] > 0
 
     def begin_transmission(self, tx_id: int, frame: Frame) -> float:
         """Start putting ``frame`` on the air from ``tx_id``.
@@ -322,7 +354,11 @@ class WirelessMedium:
         ongoing = self._ongoing
 
         # The new transmission interferes with, and may destroy, receptions
-        # already in progress.
+        # already in progress.  The interference accumulate is inlined
+        # (``add_interference`` unrolled) — this pair loop runs once per
+        # (ongoing reception, new transmitter).
+        node_index = self._node_index
+        rx_live = self._rx_live
         for other in ongoing.values():
             for rx_id, reception in other.receptions.items():
                 if rx_id == tx_id:
@@ -330,8 +366,12 @@ class WirelessMedium:
                     # transmitting.
                     if reception.failure is None:
                         reception.failure = "half_duplex"
+                        rx_live[node_index[rx_id]] -= 1
                     continue
-                reception.add_interference(row_mw[rx_id])
+                cur = reception.cur_interference_mw + row_mw[rx_id]
+                reception.cur_interference_mw = cur
+                if cur > reception.peak_interference_mw:
+                    reception.peak_interference_mw = cur
 
         # Build reception state for the new frame's intended receivers.
         # The unicast case is inlined (one receiver, no sensitivity scan).
@@ -341,18 +381,41 @@ class WirelessMedium:
             receivers = self._intended_receivers(tx_id, frame)
         row_dbm = self._pow_dbm_from[tx_id]
         pow_mw_from = self._pow_mw_from
-        for rx_id in receivers:
+        transmitting = self._transmitting
+        receptions = transmission.receptions
+        if len(receivers) >= 4 and ongoing:
+            # Vectorized interference pass over the power matrix: one
+            # fancy-indexed row read per ongoing transmitter, elementwise
+            # adds across receivers.  Elementwise float64 add performs
+            # the exact IEEE operation of the scalar loop in the same
+            # per-receiver order, and ``tolist()`` round-trips exactly,
+            # so this is bit-identical to the scalar fallback below.
+            rx_idx = [node_index[rx_id] for rx_id in receivers]
+            power_mw = self._power_mw
+            acc = None
+            for other in ongoing.values():
+                row_vec = power_mw[node_index[other.tx_id]].take(rx_idx)
+                acc = row_vec if acc is None else acc + row_vec
+            interference_list = acc.tolist()
+        else:
+            interference_list = None
+        for k, rx_id in enumerate(receivers):
             reception = _Reception(signal_dbm=row_dbm[rx_id])
-            if rx_id in self._transmitting:
+            if rx_id in transmitting:
                 reception.failure = "half_duplex"
             elif self._receiver_is_locked(rx_id):
                 reception.failure = "rx_locked"
-            interference = 0.0
-            for other in ongoing.values():
-                interference += pow_mw_from[other.tx_id][rx_id]
+            else:
+                rx_live[node_index[rx_id]] += 1
+            if interference_list is not None:
+                interference = interference_list[k]
+            else:
+                interference = 0.0
+                for other in ongoing.values():
+                    interference += pow_mw_from[other.tx_id][rx_id]
             reception.cur_interference_mw = interference
             reception.peak_interference_mw = interference
-            transmission.receptions[rx_id] = reception
+            receptions[rx_id] = reception
 
         ongoing[tx_id] = transmission
         transmitting = self._transmitting
@@ -364,26 +427,31 @@ class WirelessMedium:
         # MAC handlers never read another node's carrier-sense state, so
         # fusing update and notification is observationally identical to
         # the two-pass form (which remains as the fallback when some
-        # nodes have no registered MAC).
+        # nodes have no registered MAC).  Starting a transmission only
+        # *raises* sensed energy and only *adds* to the transmitting
+        # set, so busy can only flip False -> True here: already-busy
+        # nodes skip the threshold test, and a not-busy node is in the
+        # transmitting set iff it is this very transmitter.  For hinted
+        # listeners the ``on_medium_busy`` call is elided when it would
+        # be a no-op (no pending access event to freeze).
         row = self._sensed_rows[self._node_index[tx_id]]
         sensed = self._sensed_mw
         entries = self._mac_entries
         if len(entries) == len(row):
             threshold = self._cs_threshold_mw
             busy_state = self._busy_state
-            for node_id, mac, j in entries:
+            for node_id, mac, j, hinted in entries:
                 p = row[j]
                 if p:
                     sensed[j] = s = sensed[j] + p
                 else:
                     s = sensed[j]
-                busy = node_id in transmitting or s >= threshold
-                if busy != busy_state[j]:
-                    busy_state[j] = busy
-                    if busy:
+                if busy_state[j]:
+                    continue
+                if s >= threshold or node_id == tx_id:
+                    busy_state[j] = True
+                    if not hinted or mac._access_event is not None:
                         mac.on_medium_busy()
-                    else:
-                        mac.on_medium_idle()
         else:
             for j, p in enumerate(row):
                 if p:
@@ -396,29 +464,40 @@ class WirelessMedium:
         transmission = self._ongoing.pop(tx_id)
         transmitting = self._transmitting
         transmitting.discard(tx_id)
+        # The frame's still-live receptions leave the air with it: they
+        # no longer lock their receivers.
+        node_index = self._node_index
+        rx_live = self._rx_live
+        for rx_id, reception in transmission.receptions.items():
+            if reception.failure is None:
+                rx_live[node_index[rx_id]] -= 1
         # Remove this transmitter's row from every node's sensed energy
         # (clamped at zero, as the incremental float bookkeeping always
         # was) and notify busy/idle flips in the same fused pass as
-        # ``begin_transmission``.
-        row = self._sensed_rows[self._node_index[tx_id]]
+        # ``begin_transmission``.  Ending a transmission only *lowers*
+        # sensed energy and only *removes* from the transmitting set, so
+        # busy can only flip True -> False here: idle nodes skip the
+        # threshold test entirely.  For hinted listeners the
+        # ``on_medium_idle`` call is elided when it would be a no-op (no
+        # frame in service, hence nothing to resume).
+        row = self._sensed_rows[node_index[tx_id]]
         sensed = self._sensed_mw
         entries = self._mac_entries
         if len(entries) == len(row):
             threshold = self._cs_threshold_mw
             busy_state = self._busy_state
-            for node_id, mac, j in entries:
+            for node_id, mac, j, hinted in entries:
                 p = row[j]
                 if p:
                     v = sensed[j] - p
                     sensed[j] = s = v if v > 0.0 else 0.0
                 else:
                     s = sensed[j]
-                busy = node_id in transmitting or s >= threshold
-                if busy != busy_state[j]:
-                    busy_state[j] = busy
-                    if busy:
-                        mac.on_medium_busy()
-                    else:
+                if not busy_state[j]:
+                    continue
+                if s < threshold and node_id not in transmitting:
+                    busy_state[j] = False
+                    if not hinted or mac.current is not None:
                         mac.on_medium_idle()
         else:
             for j, p in enumerate(row):
@@ -426,12 +505,15 @@ class WirelessMedium:
                     v = sensed[j] - p
                     sensed[j] = v if v > 0.0 else 0.0
             self._refresh_busy_states()
-        # Ongoing receptions no longer suffer this transmitter's interference.
+        # Ongoing receptions no longer suffer this transmitter's
+        # interference (``remove_interference`` unrolled; ``max(0.0, v)``
+        # and the conditional produce the same float).
         row_mw = self._pow_mw_from[tx_id]
         for other in self._ongoing.values():
             for rx_id, reception in other.receptions.items():
                 if rx_id != tx_id:
-                    reception.remove_interference(row_mw[rx_id])
+                    v = reception.cur_interference_mw - row_mw[rx_id]
+                    reception.cur_interference_mw = v if v > 0.0 else 0.0
 
         self._deliver(transmission)
         mac = self._macs.get(tx_id)
@@ -475,42 +557,69 @@ class WirelessMedium:
         snr = self._snr_from[tx_id][rx_id]
         return self.error_model.packet_error_probability(snr, frame.rate, frame.size_bytes)
 
+    def _resolve_reception(
+        self, tx_id: int, rx_id: int, frame: Frame, peak_mw: float
+    ) -> tuple[str | None, float, float]:
+        """Deterministic part of reception resolution, memo-miss path.
+
+        Returns ``(pre_failure, per, p_int)``: the draw-free verdict
+        (``"weak"``/``"collision"``/None), the residual channel error
+        probability, and the partial-capture error probability (0.0 when
+        there was no overlap).  Everything here is a pure function of
+        the key ``(tx, rx, rate, length, peak interference)`` because
+        link powers are frozen at construction.
+        """
+        rate = frame.rate
+        signal_dbm = self._pow_dbm_from[tx_id][rx_id]
+        if signal_dbm < rate.rx_sensitivity_dbm:
+            return ("weak", 0.0, 0.0)
+        if not self.capture.decodable(signal_dbm, peak_mw, rate):
+            return ("collision", 0.0, 0.0)
+        per = self._channel_error_probability(tx_id, rx_id, frame)
+        if peak_mw > 0.0:
+            # Partial capture: the frame clears the SINR threshold but
+            # overlapping interference still degrades the effective
+            # SINR, producing extra bit errors.  This is what makes
+            # real-world LIR values non-binary (Section 4.2 of the
+            # paper).
+            effective_sinr = self.capture.sinr(signal_dbm, peak_mw)
+            p_int = self.error_model.packet_error_probability(
+                effective_sinr, rate, frame.size_bytes
+            )
+        else:
+            p_int = 0.0
+        return (None, per, p_int)
+
     def _deliver(self, transmission: _Transmission) -> None:
         frame = transmission.frame
-        rate = frame.rate
-        sensitivity = rate.rx_sensitivity_dbm
-        decodable = self.capture.decodable
+        rate_bps = frame.rate.bps
+        size_bytes = frame.size_bytes
         observers = self.frame_observers
         macs = self._macs
         tx_id = transmission.tx_id
+        cache = self._resolve_cache
         for rx_id, reception in transmission.receptions.items():
             failure = reception.failure
             if failure is None:
-                if reception.signal_dbm < sensitivity:
-                    failure = "weak"
-                elif not decodable(
-                    reception.signal_dbm, reception.peak_interference_mw, rate
-                ):
-                    failure = "collision"
-                else:
-                    # Residual channel errors (independent of interference).
-                    per = self._channel_error_probability(tx_id, rx_id, frame)
+                # The deterministic verdict and both error probabilities
+                # come from the interference-signature memo; only the
+                # uniform draws (in the exact order and under the exact
+                # conditions of the unmemoised path) happen per frame.
+                peak_mw = reception.peak_interference_mw
+                key = (tx_id, rx_id, rate_bps, size_bytes, peak_mw)
+                resolved = cache.get(key)
+                if resolved is None:
+                    resolved = cache[key] = self._resolve_reception(
+                        tx_id, rx_id, frame, peak_mw
+                    )
+                failure, per, p_int = resolved
+                if failure is None:
+                    # Residual channel errors (independent of
+                    # interference), then partial-capture losses.
                     if per > 0.0 and self._draw_uniform() < per:
                         failure = "channel"
-                    elif reception.peak_interference_mw > 0.0:
-                        # Partial capture: the frame clears the SINR
-                        # threshold but overlapping interference still
-                        # degrades the effective SINR, producing extra
-                        # bit errors.  This is what makes real-world LIR
-                        # values non-binary (Section 4.2 of the paper).
-                        effective_sinr = self.capture.sinr(
-                            reception.signal_dbm, reception.peak_interference_mw
-                        )
-                        p_int = self.error_model.packet_error_probability(
-                            effective_sinr, rate, frame.size_bytes
-                        )
-                        if p_int > 0.0 and self._draw_uniform() < p_int:
-                            failure = "collision"
+                    elif p_int > 0.0 and self._draw_uniform() < p_int:
+                        failure = "collision"
             success = failure is None
             for observer in observers:
                 observer(frame, rx_id, success, failure)

@@ -21,6 +21,7 @@ link loss rate ``p_l = 1 - (1 - p_DATA)(1 - p_ACK)`` used by Eq. (6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterable
 
 import numpy as np
@@ -92,6 +93,12 @@ class ProbingSystem:
         self._logs: dict[tuple[int, int, str], _ProbeLog] = {}
         self._label_cache: dict[tuple[str, str], str] = {}
         self._running = False
+        # One reusable reschedule callback per node: probing fires every
+        # period for the whole run, so the per-fire lambda allocation is
+        # hoisted out of the hot path.
+        self._probe_callbacks = {
+            node_id: partial(self._probe_once, node_id) for node_id in self.nodes
+        }
         for node in self.nodes.values():
             node.add_broadcast_handler(self._make_handler(node.node_id))
 
@@ -139,7 +146,7 @@ class ProbingSystem:
         self._running = True
         for node_id in self.nodes:
             offset = float(self._rng.uniform(0.0, self.period_s))
-            self.sim.schedule(offset, lambda nid=node_id: self._probe_once(nid))
+            self.sim.schedule(offset, self._probe_callbacks[node_id])
 
     def stop(self) -> None:
         """Stop scheduling new probes (in-flight probes still complete)."""
@@ -172,7 +179,7 @@ class ProbingSystem:
             )
             node.broadcast(payload, size, rate)
         jitter = float(self._rng.uniform(-1.0, 1.0)) * self.jitter_fraction * self.period_s
-        self.sim.schedule(max(1e-6, self.period_s + jitter), lambda: self._probe_once(node_id))
+        self.sim.schedule(max(1e-6, self.period_s + jitter), self._probe_callbacks[node_id])
 
     # ------------------------------------------------------------- reporting
     def _resolve_rate(self, sender: int, kind: str, rate: PhyRate | None) -> PhyRate | None:

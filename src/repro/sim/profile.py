@@ -28,6 +28,13 @@ Usage::
 The context manager installs the profiler process-wide for its scope, so
 simulators constructed *inside* the block (as ``run_experiment`` does)
 are profiled too.
+
+Command line: ``python -m repro.sim.profile <scenario>`` runs one cold
+cell of a named scenario under the profiler and prints the top-N
+inclusive-time table — this is how the profile published in
+``docs/architecture.md`` is regenerated::
+
+    python -m repro.sim.profile fig14-cell --top 15
 """
 
 from __future__ import annotations
@@ -134,3 +141,89 @@ class SimProfiler:
             f"| **total** | {self.total_events} | {self.total_wall_s:.3f} | 100% |"
         )
         return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- CLI
+def _profile_specs():
+    """Named single-cell experiment specs the CLI can profile.
+
+    Built lazily so importing this module never pulls in the experiment
+    stack (the engine hook must stay import-light).
+    """
+    from repro.experiment import (
+        ControllerSpec,
+        ExperimentSpec,
+        ProbingSpec,
+        ScenarioSpec,
+    )
+
+    return {
+        # One Figure 14 grid cell (random_multiflow / tcp / Prop
+        # variant) — the repeated unit whose cost dominates the figure
+        # sweeps; same spec as ``benchmarks/test_sim_core.py``.
+        "fig14-cell": ExperimentSpec(
+            scenario=ScenarioSpec(
+                scenario="random_multiflow",
+                transport="tcp",
+                run_seed=1000,
+                seed=7,
+                num_flows=3,
+                rate_mode="11",
+            ),
+            probing=ProbingSpec(warmup_s=45.0),
+            controller=ControllerSpec(alpha=1.0, probing_window=80, payload_bytes=1460),
+            cycles=1,
+            cycle_measure_s=12.0,
+            settle_s=2.0,
+            label="profile-fig14-cell",
+        ),
+        # One Figure 13 starvation cell (TCP-Prop variant).
+        "fig13-cell": ExperimentSpec(
+            scenario=ScenarioSpec(scenario="starvation", seed=0, data_rate_mbps=1),
+            probing=ProbingSpec(warmup_s=50.0),
+            controller=ControllerSpec(alpha=1.0, probing_window=90),
+            cycles=1,
+            cycle_measure_s=20.0,
+            settle_s=5.0,
+            label="profile-fig13-cell",
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one cold cell under the profiler and print the site table."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.profile",
+        description="Profile one cold simulation cell per callback site.",
+    )
+    parser.add_argument(
+        "scenario",
+        choices=sorted(_profile_specs()),
+        help="which single-cell scenario to run",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows to print (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiment import run_experiment
+
+    spec = _profile_specs()[args.scenario]
+    start = perf_counter()
+    with SimProfiler() as prof:
+        # cache=False keeps the run cold: the point is the wall clock.
+        run_experiment(spec, cache=False)
+    wall_s = perf_counter() - start
+    print(f"# {args.scenario}: cold wall {wall_s:.3f} s, {prof.total_events} events")
+    print(prof.render(top=args.top))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI test
+    raise SystemExit(main())

@@ -142,6 +142,12 @@ class TcpSource:
         self._send_times: dict[int, float] = {}
         self._retransmitted: set[int] = set()
         self._active = False
+        # Hot-path constants and pre-bound timer callbacks: referencing
+        # ``self._on_timeout`` builds a fresh bound-method object every
+        # time, and the RTO timer re-arms on every cumulative ACK.
+        self._wire_bytes = mss_bytes + 40
+        self._on_send_retry_cb = self._on_send_retry
+        self._on_timeout_cb = self._on_timeout
         node.add_delivery_handler(self._on_delivery)
 
     # ------------------------------------------------------------------ control
@@ -182,27 +188,27 @@ class TcpSource:
 
     def _segment_wire_bytes(self) -> int:
         # Approximate on-air size used for shaping decisions.
-        return self.mss_bytes + 40
+        return self._wire_bytes
 
     def _try_send(self) -> None:
         if not self._active:
             return
         while self.next_seq < self.send_base + self.window_segments:
             if self.shaper is not None:
-                wait = self.shaper.time_until_available(self.sim.now, self._segment_wire_bytes())
+                wait = self.shaper.time_until_available(self.sim.now, self._wire_bytes)
                 if wait > 0:
                     # Clamp to a minimum pacing quantum so the event loop
                     # always advances virtual time between retries.
                     self._schedule_send_retry(max(wait, 1e-4))
                     return
-                self.shaper.try_consume(self.sim.now, self._segment_wire_bytes())
+                self.shaper.try_consume(self.sim.now, self._wire_bytes)
             self._transmit_segment(self.next_seq)
             self.next_seq += 1
 
     def _schedule_send_retry(self, delay: float) -> None:
         if self._send_pending is not None:
             self._send_pending.cancel()
-        self._send_pending = self.sim.schedule(delay, self._on_send_retry)
+        self._send_pending = self.sim.schedule(delay, self._on_send_retry_cb)
 
     def _on_send_retry(self) -> None:
         self._send_pending = None
@@ -233,7 +239,7 @@ class TcpSource:
     def _arm_timer(self) -> None:
         if self._timer is not None:
             self._timer.cancel()
-        self._timer = self.sim.schedule(self.rto_s, self._on_timeout)
+        self._timer = self.sim.schedule(self.rto_s, self._on_timeout_cb)
 
     def _cancel_timer(self) -> None:
         if self._timer is not None:

@@ -192,6 +192,20 @@ class TestScoping:
         assert config.applies("RPL203", store)
         assert "_retire_journals" in config.blessed_unlink_functions
 
+    def test_scheduler_is_inside_the_determinism_scope(self) -> None:
+        """The calendar/heap scheduler is the engine's event store: it
+        sits in the same determinism scope as ``repro/engine.py`` — a
+        wall-clock read or unseeded RNG there would skew every
+        simulation at once — and it earns that scope with zero
+        suppressions and zero findings."""
+        config = LintConfig.default()
+        sched = "repro/scheduler.py"
+        for code in ("RPL102", "RPL103", "RPL104"):
+            assert config.applies(code, sched)
+        source_path = REPO / "src" / "repro" / "scheduler.py"
+        assert "repro-lint" not in source_path.read_text(encoding="utf-8")
+        assert lint_paths([source_path], LintConfig.default()).findings == []
+
 
 class TestReportAndCli:
     def test_json_output_schema(self, tmp_path: Path) -> None:
