@@ -111,7 +111,7 @@ from repro.experiment import (
     spec_digest,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "phy",

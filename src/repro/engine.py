@@ -143,6 +143,13 @@ class Simulator:
         self._processed = 0
         #: Optional per-instance profiler (duck-typed, see module docs).
         self.profiler = None
+        #: Attachment point for run-time monitors (duck-typed, see
+        #: :mod:`repro.monitors`).  Follows the profiler-hook pattern:
+        #: the run loop never reads it — an attached
+        #: :class:`~repro.monitors.MonitorHost` schedules ordinary
+        #: events for its sampling windows — so a simulation with no
+        #: monitors pays nothing, not even an attribute test per event.
+        self.monitors = None
 
     # ------------------------------------------------------------------ RNG
     def rng_stream(self, name: str) -> np.random.Generator:

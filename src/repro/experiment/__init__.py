@@ -79,9 +79,11 @@ from repro.experiment.runner import (
 from repro.experiment.specs import (
     NO_RATE_CONTROL,
     SPEC_SCHEMA_VERSION,
+    ChurnSpec,
     ControllerSpec,
     ExperimentSpec,
     FlowSpec,
+    MobilitySpec,
     ProbingSpec,
     RadioSpec,
     ScenarioSpec,
@@ -129,9 +131,11 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "NO_RATE_CONTROL",
+    "ChurnSpec",
     "ControllerSpec",
     "ExperimentSpec",
     "FlowSpec",
+    "MobilitySpec",
     "ProbingSpec",
     "RadioSpec",
     "ScenarioSpec",

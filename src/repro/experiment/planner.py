@@ -93,18 +93,45 @@ def _flow_count(scenario: Mapping[str, Any]) -> int:
     return 1
 
 
+def _dynamics_factor(scenario: Mapping[str, Any], horizon_s: float) -> float:
+    """Cost multiplier for a scenario payload's dynamics axes.
+
+    Position epochs each rebuild the moved rows of the power tables and
+    re-fill the invalidated PER/resolution memos, so cost grows with the
+    epoch *count* over the run horizon; churn events are rarer but each
+    one quiesces and revives a node.  Static payloads (no ``mobility``,
+    no ``churn`` key) return exactly 1.0, leaving historical orderings
+    untouched.
+    """
+    factor = 1.0
+    mobility = scenario.get("mobility")
+    if isinstance(mobility, Mapping):
+        epoch_s = float(mobility.get("epoch_s", 1.0))
+        if epoch_s > 0:
+            factor += 0.005 * (horizon_s / epoch_s)
+    churn = scenario.get("churn")
+    if isinstance(churn, Mapping):
+        events = float(churn.get("num_events", 1))
+        if float(churn.get("down_s", 10.0)) > 0:
+            events *= 2  # every failure gets a matching rejoin event
+        factor += 0.05 * events
+    return factor
+
+
 def estimate_cost_s(payload: Mapping[str, Any]) -> float:
     """Estimated relative cost of simulating one spec payload.
 
     Simulated seconds dominate a cell's wall clock: probe warmup (paid
     only when the controller is enabled, mirroring the runner's
     schedule) plus ``cycles x cycle_measure_s``, scaled by the node
-    count (more nodes, more events per simulated second) and softly by
-    the flow count (each flow keeps its own packet stream on the air).
-    The absolute value is meaningless; only the ordering it induces
-    matters, and ties fall back to submission order so plans stay
-    deterministic.  When a measured wall clock exists for the digest,
-    the :class:`SweepPlanner` prefers it over this heuristic.
+    count (more nodes, more events per simulated second), softly by
+    the flow count (each flow keeps its own packet stream on the air),
+    and by the dynamics factor (position epochs and churn events add
+    table-rebuild work on top of the traffic).  The absolute value is
+    meaningless; only the ordering it induces matters, and ties fall
+    back to submission order so plans stay deterministic.  When a
+    measured wall clock exists for the digest, the
+    :class:`SweepPlanner` prefers it over this heuristic.
     """
     scenario = payload.get("scenario", {})
     controller = payload.get("controller", {})
@@ -118,7 +145,8 @@ def estimate_cost_s(payload: Mapping[str, Any]) -> float:
         payload.get("cycle_measure_s", 0.0)
     )
     load_factor = 1.0 + 0.25 * max(_flow_count(scenario) - 1, 0)
-    return (warmup_s + measure_s) * max(_node_count(scenario), 1) * load_factor
+    dynamics = _dynamics_factor(scenario, warmup_s + measure_s)
+    return (warmup_s + measure_s) * max(_node_count(scenario), 1) * load_factor * dynamics
 
 
 @dataclass(frozen=True)

@@ -159,18 +159,32 @@ def _build_generated(spec: ScenarioSpec) -> BuiltScenario:
     2. radio from ``spec.radio``, else the named ``spec.radio_profile``
        at the scenario's data rate, else the default radio;
     3. per-link modulations per ``spec.rate_mode`` (the ``mixed`` draw
-       uses the ``generated.link_rates`` stream);
+       uses the ``generated.link_rates`` stream) — or, under an adaptive
+       radio profile, SNR-thresholded rates via
+       :func:`repro.sim.dynamics.apply_rate_adaptation`;
     4. flows from explicit ``spec.flows``, or routed over ETT paths by
-       the workload generator (``spec.workload``).
+       the workload generator (``spec.workload``);
+    5. dynamics, when the spec asks for them: a mobility trajectory
+       and/or a churn schedule (endpoints of routed flows protected by
+       default) installed through a :class:`repro.sim.dynamics.DynamicsDriver`,
+       whose live ``meta`` dict lands in ``meta["dynamics"]`` so epoch
+       and churn counters appear in the experiment result.
     """
     import numpy as np
 
     from repro.engine import rng_spawn_key
     from repro.phy.propagation import LogDistancePathLoss
+    from repro.sim.dynamics import (
+        DynamicsDriver,
+        apply_rate_adaptation,
+        build_mobility,
+        generate_churn_schedule,
+    )
     from repro.sim.generators import (
         assign_link_rates,
         generate_workload,
         radio_profile_config,
+        radio_profile_is_adaptive,
     )
 
     if spec.topology is None:
@@ -200,12 +214,21 @@ def _build_generated(spec: ScenarioSpec) -> BuiltScenario:
         propagation=LogDistancePathLoss(shadowing_sigma_db=sigma, seed=spec.seed),
         data_rate_mbps=spec.data_rate_mbps,
     )
-    link_rate_rng = np.random.default_rng(
-        np.random.SeedSequence(
-            entropy=spec.seed, spawn_key=(rng_spawn_key("generated.link_rates"),)
-        )
+    adaptive = spec.radio_profile is not None and radio_profile_is_adaptive(
+        spec.radio_profile
     )
-    assign_link_rates(network, spec.rate_mode, link_rate_rng)
+    if adaptive:
+        # SNR-thresholded initial rates; the DynamicsDriver re-applies
+        # them after every position epoch.  RNG-free, so this never
+        # perturbs the ``generated.link_rates`` stream of other specs.
+        apply_rate_adaptation(network)
+    else:
+        link_rate_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=spec.seed, spawn_key=(rng_spawn_key("generated.link_rates"),)
+            )
+        )
+        assign_link_rates(network, spec.rate_mode, link_rate_rng)
     meta: dict[str, object] = {
         "topology_generator": spec.topology.kind,
         "node_count": len(positions),
@@ -226,6 +249,45 @@ def _build_generated(spec: ScenarioSpec) -> BuiltScenario:
         handles = _add_flows(network, generated)
         meta["transports"] = [flow.transport for flow in generated]
     meta["routes"] = [list(handle.path) for handle in handles]
+    if spec.mobility is not None or spec.churn is not None or adaptive:
+        trajectory = None
+        epoch_s = 1.0
+        if spec.mobility is not None:
+            trajectory = build_mobility(
+                spec.mobility.model,
+                network.positions,
+                spec.mobility.params(),
+                seed=spec.seed,
+            )
+            epoch_s = spec.mobility.epoch_s
+        schedule = ()
+        if spec.churn is not None:
+            protected: frozenset[int] = frozenset()
+            if spec.churn.protect_endpoints:
+                protected = frozenset(
+                    node for handle in handles for node in (handle.path[0], handle.path[-1])
+                )
+            schedule = generate_churn_schedule(
+                network.node_ids,
+                protected=protected,
+                num_events=spec.churn.num_events,
+                start_s=spec.churn.start_s,
+                end_s=spec.churn.end_s,
+                down_s=spec.churn.down_s,
+                seed=spec.seed,
+            )
+        driver = DynamicsDriver(
+            network,
+            trajectory=trajectory,
+            epoch_s=epoch_s,
+            churn=schedule,
+            rate_adaptation=adaptive,
+        )
+        driver.install()
+        # The driver mutates this dict as epochs and churn events apply;
+        # the runner copies scenario.meta AFTER the run, so the final
+        # counters serialize into the experiment result.
+        meta["dynamics"] = driver.meta
     return BuiltScenario(
         name="generated", spec=spec, network=network, flows=handles, meta=meta
     )

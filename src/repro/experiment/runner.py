@@ -44,6 +44,7 @@ from repro.analysis.metrics import jain_fairness_index
 from repro.core.controller import ControlDecision, OnlineOptimizer
 from repro.experiment.registry import BuiltScenario, build_scenario
 from repro.experiment.specs import ExperimentSpec
+from repro.monitors import FlowSeries, MonitorHost
 
 
 @contextmanager
@@ -127,6 +128,10 @@ class ExperimentResult:
     wall_time_s: float = 0.0
     events_processed: int = 0
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Per-flow time series by monitor name (``spec.monitors``); empty
+    #: when the spec configured none.  Serialized in every payload, so
+    #: monitor output rides the cache and broker paths byte-identically.
+    monitors: dict[str, list[FlowSeries]] = field(default_factory=dict)
 
     # ------------------------------------------------------------- accessors
     @property
@@ -169,6 +174,10 @@ class ExperimentResult:
             "cycles": [cycle.to_dict() for cycle in self.cycles],
             "sim_time_s": self.sim_time_s,
             "meta": dict(self.meta),
+            "monitors": {
+                name: [series.to_dict() for series in series_list]
+                for name, series_list in self.monitors.items()
+            },
         }
         if include_runtime:
             data["runtime"] = {
@@ -191,6 +200,10 @@ class ExperimentResult:
             wall_time_s=float(runtime.get("wall_time_s", 0.0)),
             events_processed=int(runtime.get("events_processed", 0)),
             meta=dict(data.get("meta", {})),
+            monitors={
+                str(name): [FlowSeries.from_dict(entry) for entry in series_list]
+                for name, series_list in data.get("monitors", {}).items()
+            },
         )
 
 
@@ -267,12 +280,21 @@ class Experiment:
                 )
 
             cycles: list[CycleResult] = []
+            monitor_host: MonitorHost | None = None
             utility = spec.controller.utility
             for index in range(spec.cycles):
                 decision = controller.run_cycle() if controller is not None else None
                 if index == 0:
                     for flow in flows:
                         flow.start()
+                    if spec.monitors:
+                        monitor_host = MonitorHost(
+                            network,
+                            flows,
+                            spec.monitors,
+                            interval_s=spec.monitor_interval_s,
+                        )
+                        monitor_host.start()
                 cycle_start = network.now
                 network.run(spec.cycle_measure_s)
                 start, end = cycle_start + spec.settle_s, network.now
@@ -305,6 +327,7 @@ class Experiment:
             wall_time_s=time.perf_counter() - wall_start,
             events_processed=network.sim.processed_events,
             meta=dict(scenario.meta),
+            monitors=monitor_host.collect() if monitor_host is not None else {},
         )
         if result_cache is not None and spec not in result_cache:
             result_cache.put(result)

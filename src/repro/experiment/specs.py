@@ -57,8 +57,15 @@ class SpecError(ValueError):
 #:    ``binary_tree``, ``parking_lot``, ...), :class:`ScenarioSpec` grew
 #:    ``workload`` and ``radio_profile``, and :class:`WorkloadSpec` was
 #:    added, so every canonical spec dict (and therefore every digest)
-#:    changed.
-SPEC_SCHEMA_VERSION = 2
+#:    changed;
+#: 3. dynamic scenarios — :class:`MobilitySpec` and :class:`ChurnSpec`
+#:    were added (``ScenarioSpec`` grew ``mobility``/``churn``),
+#:    :class:`WorkloadSpec` grew the heavy-tailed gravity knobs
+#:    (``weight_tail``/``tail_index``), and :class:`ExperimentSpec` grew
+#:    the run-time monitor selection (``monitors`` /
+#:    ``monitor_interval_s``), so every canonical spec dict changed
+#:    again.
+SPEC_SCHEMA_VERSION = 3
 
 
 def spec_digest(spec: "ExperimentSpec | Mapping[str, Any]",
@@ -96,6 +103,8 @@ TOPOLOGY_KINDS = (
 )
 TRANSPORTS = ("udp", "tcp")
 RATE_MODES = ("1", "11", "mixed")
+#: Gravity-workload node-weight distributions (:class:`WorkloadSpec`).
+WEIGHT_TAILS = ("uniform", "pareto")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -316,6 +325,12 @@ class WorkloadSpec:
     controller programs the flow, a positive value is a CBR rate (the
     ``gravity`` generator splits ``rate_bps * num_flows`` across demands
     by gravity weight instead of handing every flow the same rate).
+
+    ``weight_tail`` selects the gravity node-weight distribution:
+    ``"uniform"`` (the historical default) or ``"pareto"``, which draws
+    heavy-tailed Lomax weights with shape ``tail_index`` so a few nodes
+    dominate the traffic matrix, as in measured mesh deployments.  Both
+    fields are ignored by the non-gravity generators.
     """
 
     generator: str = "saturated_udp"
@@ -326,6 +341,8 @@ class WorkloadSpec:
     payload_bytes: int = 1470
     mss_bytes: int = 1460
     demand_exponent: float = 1.0
+    weight_tail: str = "uniform"
+    tail_index: float = 1.5
 
     def __post_init__(self) -> None:
         from repro.sim.generators import workload_names
@@ -342,6 +359,10 @@ class WorkloadSpec:
         _require(self.payload_bytes > 0 and self.mss_bytes > 0,
                  "payload_bytes and mss_bytes must be positive")
         _require(self.demand_exponent > 0, "demand_exponent must be positive")
+        _require(self.weight_tail in WEIGHT_TAILS,
+                 f"weight_tail must be one of {WEIGHT_TAILS}, "
+                 f"got {self.weight_tail!r}")
+        _require(self.tail_index > 0, "tail_index must be positive")
 
     def params(self) -> dict[str, Any]:
         """Keyword arguments for :func:`repro.sim.generators.generate_workload`."""
@@ -354,6 +375,97 @@ class WorkloadSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+# ---------------------------------------------------------------------------
+# Dynamics: mobility and churn
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Node mobility for a ``generated`` scenario.
+
+    ``model`` is any name registered with
+    :func:`repro.sim.dynamics.register_mobility`; the built-ins are
+    ``"waypoint"`` (random waypoint inside the initial bounding box plus
+    ``area_margin_m``, moving at ``speed_mps`` and pausing ``pause_s`` at
+    each target) and ``"drift"`` (per-epoch Gaussian displacement with
+    standard deviation ``drift_sigma_m``, clipped to the same box).
+
+    Positions advance in discrete *position epochs* every ``epoch_s``
+    seconds of virtual time; each epoch the
+    :class:`~repro.sim.dynamics.DynamicsDriver` rebuilds only the power-
+    table rows/columns of the nodes that actually moved.  All trajectory
+    randomness comes from a model-private ``rng_spawn_key`` stream seeded
+    by the scenario ``seed`` (like topology placement), never from the
+    simulation streams.
+    """
+
+    model: str = "waypoint"
+    epoch_s: float = 1.0
+    speed_mps: float = 1.5
+    pause_s: float = 0.0
+    drift_sigma_m: float = 2.0
+    area_margin_m: float = 25.0
+
+    def __post_init__(self) -> None:
+        from repro.sim.dynamics import mobility_names
+
+        _require(self.model in mobility_names(),
+                 f"mobility model must be a registered name, one of "
+                 f"{mobility_names()}; got {self.model!r}")
+        _require(self.epoch_s > 0, "epoch_s must be positive")
+        _require(self.speed_mps >= 0, "speed_mps must be non-negative")
+        _require(self.pause_s >= 0, "pause_s must be non-negative")
+        _require(self.drift_sigma_m >= 0, "drift_sigma_m must be non-negative")
+        _require(self.area_margin_m >= 0, "area_margin_m must be non-negative")
+
+    def params(self) -> dict[str, Any]:
+        """Keyword parameters for :func:`repro.sim.dynamics.build_mobility`."""
+        data = _spec_to_dict(self)
+        data.pop("model")
+        return data
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MobilitySpec":
+        return cls(**_filter_kwargs(cls, data))
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Seeded node join/fail schedule for a ``generated`` scenario.
+
+    ``num_events`` node failures are drawn uniformly (without
+    replacement) from the non-protected nodes, at times uniform in
+    ``[start_s, end_s]`` of virtual time; a failed node rejoins
+    ``down_s`` seconds later (``down_s=0`` means the failure is
+    permanent).  With ``protect_endpoints`` (the default) the sources and
+    sinks of the scenario's routed flows never fail, so churn exercises
+    relay loss — the paper-relevant case — without silencing traffic
+    altogether.  The schedule is drawn from the private ``"churn"``
+    ``rng_spawn_key`` stream seeded by the scenario ``seed``.
+    """
+
+    num_events: int = 1
+    start_s: float = 0.0
+    end_s: float = 60.0
+    down_s: float = 10.0
+    protect_endpoints: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.num_events >= 1, "num_events must be at least 1")
+        _require(self.start_s >= 0, "start_s must be non-negative")
+        _require(self.end_s >= self.start_s, "end_s must be at least start_s")
+        _require(self.down_s >= 0, "down_s must be non-negative (0 = permanent)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return _spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnSpec":
         return cls(**_filter_kwargs(cls, data))
 
 
@@ -470,6 +582,8 @@ class ScenarioSpec:
     max_hops: int = 4
     rate_mode: str = "mixed"
     transport: str = "udp"
+    mobility: MobilitySpec | None = None
+    churn: ChurnSpec | None = None
 
     def __post_init__(self) -> None:
         _require(bool(self.scenario), "scenario name must be non-empty")
@@ -490,6 +604,10 @@ class ScenarioSpec:
                  "give either radio or radio_profile, not both")
         _require(not (self.flows and self.workload is not None),
                  "give either explicit flows or a workload generator, not both")
+        _require(self.mobility is None or self.scenario == "generated",
+                 "mobility is only supported by the 'generated' scenario")
+        _require(self.churn is None or self.scenario == "generated",
+                 "churn is only supported by the 'generated' scenario")
         if self.radio_profile is not None:
             from repro.sim.generators import radio_profile_names
 
@@ -519,6 +637,10 @@ class ScenarioSpec:
             parts.append(f"{len(self.flows)} flow(s)")
         if self.radio_profile and self.radio_profile != "default":
             parts.append(self.radio_profile)
+        if self.mobility is not None:
+            parts.append(f"{self.mobility.model} mobility")
+        if self.churn is not None:
+            parts.append("churn")
         return f"generated({', '.join(parts)})" if parts else "generated"
 
     def to_dict(self) -> dict[str, Any]:
@@ -527,6 +649,8 @@ class ScenarioSpec:
         data["radio"] = self.radio.to_dict() if self.radio else None
         data["flows"] = [flow.to_dict() for flow in self.flows]
         data["workload"] = self.workload.to_dict() if self.workload else None
+        data["mobility"] = self.mobility.to_dict() if self.mobility else None
+        data["churn"] = self.churn.to_dict() if self.churn else None
         return data
 
     @classmethod
@@ -540,6 +664,10 @@ class ScenarioSpec:
             kwargs["flows"] = tuple(FlowSpec.from_dict(f) for f in kwargs["flows"])
         if kwargs.get("workload") is not None:
             kwargs["workload"] = WorkloadSpec.from_dict(kwargs["workload"])
+        if kwargs.get("mobility") is not None:
+            kwargs["mobility"] = MobilitySpec.from_dict(kwargs["mobility"])
+        if kwargs.get("churn") is not None:
+            kwargs["churn"] = ChurnSpec.from_dict(kwargs["churn"])
         return cls(**kwargs)
 
 
@@ -556,6 +684,16 @@ class ExperimentSpec:
     ``cycles`` optimization/measurement rounds run, each
     ``cycle_measure_s`` long with the first ``settle_s`` seconds excluded
     from throughput accounting.
+
+    ``monitors`` names run-time monitors from the
+    :mod:`repro.monitors` registry (``"pdr"``, ``"throughput"``,
+    ``"e2e_latency"``) attached when the flows start; each samples every
+    ``monitor_interval_s`` of virtual time and emits typed per-flow time
+    series into :attr:`ExperimentResult.monitors`.  Monitor selection
+    lives on the spec — not an environment knob — because the series are
+    part of the content-addressed result payload: two runs of one digest
+    must produce byte-identical payloads through every cache and broker
+    path.
     """
 
     scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
@@ -565,12 +703,24 @@ class ExperimentSpec:
     cycle_measure_s: float = 10.0
     settle_s: float = 2.0
     label: str = ""
+    monitors: tuple[str, ...] = ()
+    monitor_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
         _require(self.cycles >= 1, "cycles must be at least 1")
         _require(self.cycle_measure_s > 0, "cycle_measure_s must be positive")
         _require(0 <= self.settle_s < self.cycle_measure_s,
                  "settle_s must be non-negative and shorter than cycle_measure_s")
+        _require(self.monitor_interval_s > 0, "monitor_interval_s must be positive")
+        _require(len(set(self.monitors)) == len(self.monitors),
+                 "monitors must not repeat a name")
+        if self.monitors:
+            from repro.monitors import monitor_names
+
+            for name in self.monitors:
+                _require(name in monitor_names(),
+                         f"monitors must be registered names, one of "
+                         f"{monitor_names()}; got {name!r}")
 
     def with_seed(self, seed: int, run_seed: int | None = None) -> "ExperimentSpec":
         """The same experiment on a re-seeded scenario."""
@@ -591,6 +741,8 @@ class ExperimentSpec:
             "cycle_measure_s": self.cycle_measure_s,
             "settle_s": self.settle_s,
             "label": self.label,
+            "monitors": list(self.monitors),
+            "monitor_interval_s": self.monitor_interval_s,
         }
 
     @classmethod
@@ -602,4 +754,6 @@ class ExperimentSpec:
             kwargs["probing"] = ProbingSpec.from_dict(kwargs["probing"])
         if "controller" in kwargs:
             kwargs["controller"] = ControllerSpec.from_dict(kwargs["controller"])
+        if "monitors" in kwargs:
+            kwargs["monitors"] = tuple(str(name) for name in kwargs["monitors"])
         return cls(**kwargs)

@@ -33,6 +33,9 @@ _SIM_LAYERS = (
     "repro/net/**",
     "repro/core/**",
     "repro/transport/**",
+    # Monitors sample *inside* the event loop; their series are part of
+    # experiment payloads, so they are held to the same determinism bar.
+    "repro/monitors/**",
     "repro/engine.py",
     "repro/scheduler.py",
 )

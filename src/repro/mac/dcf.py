@@ -96,6 +96,7 @@ class DcfMac:
         self._waiting_ack = False
         self._ack_timeout_event: Event | None = None
         self._transmitting = False
+        self._down = False
         self._pending_control: deque[Frame] = deque()
         # Hot-path constants and bindings.  ``config`` and ``ack_rate``
         # are fixed for the MAC's lifetime, so the derived timings are
@@ -130,13 +131,58 @@ class DcfMac:
         """Whether the MAC currently has a frame in service."""
         return self.current is not None
 
+    @property
+    def down(self) -> bool:
+        """Whether the station is quiesced by a churn failure."""
+        return self._down
+
+    def quiesce(self) -> None:
+        """Deterministically shut the station down (churn failure).
+
+        Cancels the pending access and ACK-timeout events, drops every
+        queued/in-service frame and pending control frame, and resets
+        the contention window — the state a power-cycled interface comes
+        back with.  No RNG is drawn and no event is scheduled, so a
+        quiesce perturbs nothing beyond the frames it discards.  A
+        transmission already on the air runs to its scheduled end
+        (:meth:`on_transmission_end` is a guarded no-op while down).
+        """
+        self._down = True
+        if self._access_event is not None:
+            self._access_event.cancel()
+            self._access_event = None
+        if self._ack_timeout_event is not None:
+            self._ack_timeout_event.cancel()
+            self._ack_timeout_event = None
+        self._waiting_ack = False
+        self.queue.clear()
+        self.current = None
+        self._pending_control.clear()
+        self._ack_outbox.clear()
+        self._cw = self._cw_min
+        self._backoff_slots = 0
+
+    def revive(self) -> None:
+        """Bring a quiesced station back up (churn rejoin).
+
+        State was already reset by :meth:`quiesce`; traffic resumes when
+        an upper layer next enqueues (CBR ticks and TCP retransmit
+        timers re-offer on their own; backlogged UDP sources need a
+        :meth:`repro.transport.udp.UdpSource.refresh` kick, which
+        :meth:`repro.sim.network.MeshNetwork.revive_node` performs).
+        """
+        self._down = False
+
     def enqueue(self, frame: Frame) -> bool:
         """Push a frame into the interface queue.
 
         Returns ``False`` (and counts a queue drop) when the queue is
         full; the frame is discarded in that case, mirroring a drop-tail
-        interface queue.
+        interface queue.  A station that is down (churn failure) refuses
+        every frame without counting it.
         """
+        if self._down:
+            return False
         self.stats.enqueued += 1
         if len(self.queue) >= self.config.queue_limit:
             self.stats.queue_drops += 1
@@ -227,6 +273,10 @@ class DcfMac:
     def on_transmission_end(self, frame: Frame) -> None:
         """Our own frame just left the air."""
         self._transmitting = False
+        if self._down:
+            # The station was quiesced while this frame was on the air:
+            # its completion is moot and must not restart channel access.
+            return
         if frame.kind is FrameKind.ACK:
             self._flush_control()
             self._try_access()
@@ -268,6 +318,10 @@ class DcfMac:
 
     # ------------------------------------------------------------- ACK logic
     def _send_next_control_frame(self) -> None:
+        if self._down or not self._ack_outbox:
+            # A SIFS-scheduled send can outlive a quiesce (the event has
+            # no handle to cancel); the cleared outbox makes it a no-op.
+            return
         self._send_control(self._ack_outbox.popleft())
 
     def _send_control(self, ack: Frame) -> None:

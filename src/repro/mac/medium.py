@@ -12,13 +12,16 @@ losses:
 
 ``half_duplex``  the receiver was transmitting during the frame,
 ``rx_locked``    the receiver was already locked onto another frame,
+``rx_off``       the receiver's radio was down (churn failure),
 ``weak``         received power below the modulation's sensitivity,
 ``collision``    SINR below the capture threshold (overlap loss),
 ``channel``      independent channel error (the residual loss process).
 
-Performance note: node positions are frozen at construction, so every
-pairwise received power (dBm and mW) is precomputed into symmetric
-numpy matrices up front.  Each value is produced by the *same scalar
+Performance note: node positions only change at explicit position
+epochs (:meth:`WirelessMedium.update_positions`), so every pairwise
+received power (dBm and mW) is precomputed into symmetric numpy
+matrices up front and epochs rebuild only the rows/columns of the
+nodes that moved.  Each value is produced by the *same scalar
 formula* the lazy per-call path used, so the fast path is bit-identical
 to the original — the experiment goldens and the sim-level trace goldens
 under ``tests/sim/golden`` are the proof.  The per-event bookkeeping
@@ -88,13 +91,27 @@ class _Reception:
 
 @dataclass(slots=True)
 class _Transmission:
-    """An ongoing transmission and the state of its intended receivers."""
+    """An ongoing transmission and the state of its intended receivers.
+
+    ``sensed_row`` and ``mw_row`` are the power-table row objects this
+    transmission's energy was *added* with at begin time.  Finish
+    subtracts through these snapshots rather than re-fetching the live
+    tables, so when a position epoch rebuilds the tables mid-flight
+    (:meth:`WirelessMedium.update_positions` replaces row objects, never
+    mutates them) every in-flight add/remove pair stays exactly
+    balanced: sensed energy returns to precisely what the epoch left,
+    with no spurious busy/idle flips.  In a static run the snapshots are
+    the same objects a fresh fetch would return, so behaviour is
+    bit-identical.
+    """
 
     tx_id: int
     frame: Frame
     start: float
     end: float
     receptions: dict[int, _Reception] = field(default_factory=dict)
+    sensed_row: list[float] | None = None
+    mw_row: dict[int, float] | None = None
 
 
 class WirelessMedium:
@@ -102,9 +119,10 @@ class WirelessMedium:
 
     Args:
         sim: the discrete-event simulator driving virtual time.
-        positions: node id -> (x, y) coordinates in metres.  Positions
-            are frozen at construction: the pairwise power tables are
-            built once from them.
+        positions: node id -> (x, y) coordinates in metres.  The
+            pairwise power tables are built once from them; mobility
+            moves nodes through :meth:`update_positions`, which rebuilds
+            only the affected rows/columns.
         radio: common radio configuration (tx power, CS threshold, gains).
         propagation: path-loss model.
         error_model: residual channel error model applied to frames that
@@ -168,6 +186,10 @@ class WirelessMedium:
             tuple[int, int, float, int, float], tuple[str | None, float, float]
         ] = {}
         self._bcast_receivers: dict[tuple[int, float], list[int]] = {}
+        # Nodes whose radio is off (churn failures).  Receptions at an
+        # inactive node fail with "rx_off"; the empty-set falsy check
+        # keeps the static hot path to one local load and a bool test.
+        self._inactive: set[int] = set()
         self._build_power_tables()
 
     def _build_power_tables(self) -> None:
@@ -234,6 +256,124 @@ class WirelessMedium:
         self._finish_callbacks = {
             node: partial(self._finish_transmission, node) for node in ids
         }
+
+    # --------------------------------------------------------------- dynamics
+    def update_positions(self, moved: dict[int, tuple[float, float]]) -> None:
+        """Move nodes and rebuild only the affected power-table state.
+
+        For each moved node the full row *and* column of the power
+        matrices (and their scalar mirrors) are recomputed with the same
+        per-direction scalar formula :meth:`_build_power_tables` uses —
+        shadowing offsets are keyed per pair, so a rebuilt entry equals
+        what a fresh medium at the new positions would compute, bit for
+        bit.  Unmoved-pair entries are untouched.
+
+        Invariants this method maintains for in-flight transmissions:
+
+        * ``_sensed_rows`` and ``_pow_mw_from`` rows are *replaced* with
+          fresh objects, never mutated — finish subtracts through the
+          begin-time snapshots on :class:`_Transmission`, so every
+          add/remove pair stays exactly balanced across the epoch and no
+          busy/idle notification fires at the epoch instant.
+        * memo invalidation is exact: ``_per_cache`` and
+          ``_resolve_cache`` drop only keys whose tx or rx moved;
+          ``_bcast_receivers`` (a function of every pairwise power) is
+          cleared wholesale; ``_airtime_cache`` is keyed ``(size,
+          rate)`` — position-independent — and survives.
+        * no RNG stream is touched and no event is scheduled, so a run
+          with zero moves is event- and draw-identical to a static run.
+
+        A reception that *begins* after the epoch while an old
+        transmission still interferes sees the new tables for the add
+        and the old snapshot for the remove; the residual is clamped at
+        zero and bounded by one frame airtime — deterministic, and far
+        below the position-epoch timescale.
+        """
+        if not moved:
+            return
+        index = self._node_index
+        for node_id in moved:
+            if node_id not in index:
+                raise KeyError(f"node {node_id} has no position in the medium")
+        for node_id, (x, y) in moved.items():
+            self.positions[node_id] = (float(x), float(y))
+        ids = self._node_ids
+        moved_set = set(moved)
+        eirp = self.radio.tx_power_dbm + 2.0 * self.radio.antenna_gain_dbi
+        noise_dbm = self.capture.noise_floor_dbm
+        power_dbm = self._power_dbm
+        power_mw = self._power_mw
+        pow_dbm_map = self._pow_dbm
+        pow_mw_map = self._pow_mw
+        pow_dbm_from = self._pow_dbm_from
+        snr_from = self._snr_from
+        pow_mw_from = self._pow_mw_from = {
+            node: dict(row) for node, row in self._pow_mw_from.items()
+        }
+        sensed_rows = self._sensed_rows = [list(row) for row in self._sensed_rows]
+        for a in sorted(moved_set):
+            i = index[a]
+            row_dbm = pow_dbm_from[a]
+            row_mw = pow_mw_from[a]
+            row_snr = snr_from[a]
+            sensed_row = sensed_rows[i]
+            for b in ids:
+                j = index[b]
+                dbm = eirp - self.propagation.path_loss_db(self.distance(a, b), (a, b))
+                mw = dbm_to_mw(dbm)
+                power_dbm[i, j] = dbm
+                power_mw[i, j] = mw
+                pow_dbm_map[(a, b)] = dbm
+                pow_mw_map[(a, b)] = mw
+                row_dbm[b] = dbm
+                row_mw[b] = mw
+                row_snr[b] = dbm - noise_dbm
+                sensed_row[j] = 0.0 if j == i else mw
+                if b in moved_set:
+                    continue  # (b, a) is covered when b's own row rebuilds
+                dbm_r = eirp - self.propagation.path_loss_db(self.distance(b, a), (b, a))
+                mw_r = dbm_to_mw(dbm_r)
+                power_dbm[j, i] = dbm_r
+                power_mw[j, i] = mw_r
+                pow_dbm_map[(b, a)] = dbm_r
+                pow_mw_map[(b, a)] = mw_r
+                pow_dbm_from[b][a] = dbm_r
+                pow_mw_from[b][a] = mw_r
+                snr_from[b][a] = dbm_r - noise_dbm
+                sensed_rows[j][i] = mw_r
+        for cache in (self._per_cache, self._resolve_cache):
+            stale = [key for key in cache if key[0] in moved_set or key[1] in moved_set]
+            for key in stale:
+                del cache[key]
+        self._bcast_receivers.clear()
+
+    def set_node_active(self, node_id: int, active: bool) -> None:
+        """Turn a node's radio on or off (churn join/fail).
+
+        While off, every delivery attempt at the node fails with
+        ``"rx_off"`` (counted in :attr:`loss_counts` and visible to
+        frame observers, so probing estimators see the link die).  The
+        node keeps its position and power-table rows; an in-progress
+        transmission *from* the node runs to its scheduled end — the
+        MAC-level quiesce is the caller's job (see
+        :meth:`repro.sim.network.MeshNetwork.fail_node`).
+        """
+        if node_id not in self._node_index:
+            raise KeyError(f"node {node_id} has no position in the medium")
+        if active:
+            self._inactive.discard(node_id)
+            return
+        if node_id in self._inactive:
+            return
+        self._inactive.add(node_id)
+        # Receptions already in flight at the dying node fail now.
+        rx_index = self._node_index[node_id]
+        rx_live = self._rx_live
+        for transmission in self._ongoing.values():
+            reception = transmission.receptions.get(node_id)
+            if reception is not None and reception.failure is None:
+                reception.failure = "rx_off"
+                rx_live[rx_index] -= 1
 
     # ------------------------------------------------------------ registration
     def register_mac(self, node_id: int, mac: MacListener) -> None:
@@ -350,7 +490,7 @@ class WirelessMedium:
             )
         now = self.sim.now
         transmission = _Transmission(tx_id=tx_id, frame=frame, start=now, end=now + duration)
-        row_mw = self._pow_mw_from[tx_id]
+        row_mw = transmission.mw_row = self._pow_mw_from[tx_id]
         ongoing = self._ongoing
 
         # The new transmission interferes with, and may destroy, receptions
@@ -399,9 +539,12 @@ class WirelessMedium:
             interference_list = acc.tolist()
         else:
             interference_list = None
+        inactive = self._inactive
         for k, rx_id in enumerate(receivers):
             reception = _Reception(signal_dbm=row_dbm[rx_id])
-            if rx_id in transmitting:
+            if inactive and rx_id in inactive:
+                reception.failure = "rx_off"
+            elif rx_id in transmitting:
                 reception.failure = "half_duplex"
             elif self._receiver_is_locked(rx_id):
                 reception.failure = "rx_locked"
@@ -434,7 +577,7 @@ class WirelessMedium:
         # transmitting set iff it is this very transmitter.  For hinted
         # listeners the ``on_medium_busy`` call is elided when it would
         # be a no-op (no pending access event to freeze).
-        row = self._sensed_rows[self._node_index[tx_id]]
+        row = transmission.sensed_row = self._sensed_rows[self._node_index[tx_id]]
         sensed = self._sensed_mw
         entries = self._mac_entries
         if len(entries) == len(row):
@@ -479,8 +622,10 @@ class WirelessMedium:
         # busy can only flip True -> False here: idle nodes skip the
         # threshold test entirely.  For hinted listeners the
         # ``on_medium_idle`` call is elided when it would be a no-op (no
-        # frame in service, hence nothing to resume).
-        row = self._sensed_rows[node_index[tx_id]]
+        # frame in service, hence nothing to resume).  The subtraction
+        # goes through the begin-time row snapshot, so a position epoch
+        # between begin and finish cannot unbalance the sensed energy.
+        row = transmission.sensed_row
         sensed = self._sensed_mw
         entries = self._mac_entries
         if len(entries) == len(row):
@@ -507,8 +652,9 @@ class WirelessMedium:
             self._refresh_busy_states()
         # Ongoing receptions no longer suffer this transmitter's
         # interference (``remove_interference`` unrolled; ``max(0.0, v)``
-        # and the conditional produce the same float).
-        row_mw = self._pow_mw_from[tx_id]
+        # and the conditional produce the same float).  As above, the
+        # begin-time snapshot removes exactly what was added.
+        row_mw = transmission.mw_row
         for other in self._ongoing.values():
             for rx_id, reception in other.receptions.items():
                 if rx_id != tx_id:

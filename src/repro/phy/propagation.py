@@ -79,6 +79,15 @@ class LogDistancePathLoss(PropagationModel):
     zero-mean Gaussian offset (std ``shadowing_sigma_db``) drawn once per
     unordered link from a seeded RNG.  Symmetric by construction, which
     matches the paper's use of bidirectional broadcast probing.
+
+    Mobility semantics: the shadowing offset is keyed by the node *pair*,
+    not by position, so when a position epoch moves nodes (see
+    :class:`repro.sim.dynamics.DynamicsDriver`) only the distance term of
+    the loss changes — the per-pair offset stays the constant drawn at
+    first use.  That keeps incremental power-table rebuilds a pure
+    function of (pair, distance), with no hidden draw order: recomputing
+    a row mid-run yields the same loss a fresh medium at the new
+    positions would compute.
     """
 
     exponent: float = 3.3

@@ -72,6 +72,8 @@ __all__ = [
     "radio_profile_names",
     "radio_profile_params",
     "radio_profile_config",
+    "radio_profile_is_adaptive",
+    "ADAPTIVE_RADIO_PROFILES",
     "assign_link_rates",
     "ett_link_weights",
     "ground_truth_link_error",
@@ -374,7 +376,25 @@ RADIO_PROFILES: dict[str, dict[str, float]] = {
     # Power variants: denser single-cell coverage vs. more spatial reuse.
     "high_power": {"tx_power_dbm": 25.0},
     "low_power": {"tx_power_dbm": 12.0},
+    # SNR-threshold auto-rate: radio parameters are the defaults, but the
+    # scenario builder assigns per-link modulations from the current SNR
+    # (repro.sim.dynamics.apply_rate_adaptation) and re-assigns them on
+    # every position epoch instead of freezing rates at build time.
+    "rate_adaptation": {},
 }
+
+#: Profiles whose link rates track the channel instead of being frozen at
+#: build time.  Their parameter dict must stay empty so
+#: :func:`radio_profile_config` still yields a default radio; the
+#: behavioural difference lives in the scenario builder, which calls
+#: :func:`repro.sim.dynamics.apply_rate_adaptation` at build and on every
+#: position epoch.
+ADAPTIVE_RADIO_PROFILES: frozenset[str] = frozenset({"rate_adaptation"})
+
+
+def radio_profile_is_adaptive(name: str) -> bool:
+    """Whether a named profile re-selects link rates as the channel moves."""
+    return name in ADAPTIVE_RADIO_PROFILES
 
 
 def radio_profile_names() -> list[str]:
@@ -438,6 +458,8 @@ class WorkloadContext:
     payload_bytes: int = 1470
     mss_bytes: int = 1460
     demand_exponent: float = 1.0
+    weight_tail: str = "uniform"
+    tail_index: float = 1.5
 
     def routable_demands(self) -> list[tuple[int, int, list[int]]]:
         """Every ordered ``(src, dst, path)`` whose ETT route fits
@@ -604,12 +626,19 @@ def _gravity(ctx: WorkloadContext) -> list[GeneratedFlow]:
     With a positive ``rate_bps`` the total budget ``rate_bps * num_flows``
     is split across the chosen demands proportionally to their gravity
     weight; with ``rate_bps=None`` sources are saturated and the weights
-    only bias *which* demands exist."""
+    only bias *which* demands exist.
+
+    ``weight_tail="pareto"`` swaps the uniform node weights for
+    heavy-tailed Lomax draws (``1 + Pareto(tail_index)``), so a handful
+    of nodes dominate the traffic matrix as in measured deployments.  The
+    uniform branch keeps its historical draw — one ``uniform`` vector of
+    ``len(node_ids)`` — bit for bit, so pre-v3 specs replay unchanged."""
     node_ids = ctx.network.node_ids
-    node_weight = {
-        node: float(w)
-        for node, w in zip(node_ids, ctx.rng.uniform(0.1, 1.0, size=len(node_ids)))
-    }
+    if ctx.weight_tail == "pareto":
+        draws = ctx.rng.pareto(ctx.tail_index, size=len(node_ids)) + 1.0
+    else:
+        draws = ctx.rng.uniform(0.1, 1.0, size=len(node_ids))
+    node_weight = {node: float(w) for node, w in zip(node_ids, draws)}
     candidates = ctx.routable_demands()
     gravity = np.array(
         [

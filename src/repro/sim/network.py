@@ -156,6 +156,39 @@ class MeshNetwork:
     def now(self) -> float:
         return self.sim.now
 
+    # --------------------------------------------------------------- dynamics
+    def update_positions(self, moved: dict[int, tuple[float, float]]) -> None:
+        """Move nodes (a position epoch): the medium rebuilds only the
+        power-table rows/columns of the moved nodes and invalidates the
+        memo entries they touch (see
+        :meth:`repro.mac.medium.WirelessMedium.update_positions`)."""
+        self.medium.update_positions(moved)
+        for node_id, (x, y) in moved.items():
+            self.positions[node_id] = (float(x), float(y))
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node down (churn failure).
+
+        The medium marks the radio off — subsequent delivery attempts at
+        the node fail with ``"rx_off"`` — and the MAC quiesces
+        deterministically (pending events cancelled, queue dropped).
+        Routing tables and transport state are left in place: when the
+        node revives, established flows resume over the same routes,
+        which is the repair behaviour the paper's online loop is
+        re-measuring.
+        """
+        self.medium.set_node_active(node_id, False)
+        self.nodes[node_id].mac.quiesce()
+
+    def revive_node(self, node_id: int) -> None:
+        """Bring a failed node back (churn rejoin) and re-prime any
+        backlogged UDP sources stalled at it."""
+        self.medium.set_node_active(node_id, True)
+        self.nodes[node_id].mac.revive()
+        for handle in self.udp_flows.values():
+            if handle.path[0] == node_id:
+                handle.source.refresh()
+
     # ---------------------------------------------------------------- routing
     def install_path(self, path: list[int], bidirectional: bool = True) -> None:
         """Install static next-hop entries along ``path``.

@@ -151,10 +151,14 @@ def _profile_specs():
     stack (the engine hook must stay import-light).
     """
     from repro.experiment import (
+        ChurnSpec,
         ControllerSpec,
         ExperimentSpec,
+        MobilitySpec,
         ProbingSpec,
         ScenarioSpec,
+        TopologySpec,
+        WorkloadSpec,
     )
 
     return {
@@ -176,6 +180,34 @@ def _profile_specs():
             cycle_measure_s=12.0,
             settle_s=2.0,
             label="profile-fig14-cell",
+        ),
+        # A dynamic variant of the Figure 14 cell: a connected 3x3 grid
+        # under waypoint mobility with one mid-run churn cycle, so the
+        # position-epoch rebuild and memo-invalidation paths show up in
+        # the site table next to the static MAC/PHY costs.
+        "fig14-cell-mobile": ExperimentSpec(
+            scenario=ScenarioSpec(
+                scenario="generated",
+                seed=7,
+                run_seed=1000,
+                rate_mode="11",
+                topology=TopologySpec(kind="grid", rows=3, cols=3, spacing_m=60.0),
+                workload=WorkloadSpec(
+                    generator="saturated_udp", num_flows=3, max_hops=3
+                ),
+                mobility=MobilitySpec(
+                    model="waypoint", epoch_s=1.0, speed_mps=2.0
+                ),
+                churn=ChurnSpec(
+                    num_events=1, start_s=50.0, end_s=55.0, down_s=5.0
+                ),
+            ),
+            probing=ProbingSpec(warmup_s=45.0),
+            controller=ControllerSpec(alpha=1.0, probing_window=80, payload_bytes=1460),
+            cycles=1,
+            cycle_measure_s=12.0,
+            settle_s=2.0,
+            label="profile-fig14-cell-mobile",
         ),
         # One Figure 13 starvation cell (TCP-Prop variant).
         "fig13-cell": ExperimentSpec(

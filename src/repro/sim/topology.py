@@ -173,6 +173,28 @@ def classify_pair(medium: WirelessMedium, link1: Link, link2: Link) -> str:
     return "IND"
 
 
+def bounding_box(
+    positions: Positions, margin_m: float = 0.0
+) -> tuple[float, float, float, float]:
+    """Axis-aligned bounding box of a placement, expanded by ``margin_m``.
+
+    Returns ``(x_min, x_max, y_min, y_max)``.  Mobility models use this
+    as the movement area: waypoints are drawn inside it and drifting
+    nodes are clipped to it, so a trajectory can roam past the initial
+    hull by at most the margin without wandering off to infinity.
+    """
+    if not positions:
+        raise ValueError("bounding_box needs at least one position")
+    xs = [x for x, _ in positions.values()]
+    ys = [y for _, y in positions.values()]
+    return (
+        min(xs) - margin_m,
+        max(xs) + margin_m,
+        min(ys) - margin_m,
+        max(ys) + margin_m,
+    )
+
+
 # --------------------------------------------------------------------------
 # Multi-hop topologies
 # --------------------------------------------------------------------------

@@ -165,6 +165,20 @@ class UdpSource:
             self.stats.send_failures += 1
         return accepted
 
+    def refresh(self) -> None:
+        """Re-prime a stalled source after its node's MAC comes back up.
+
+        A backlogged source stops offering frames the moment an enqueue
+        is refused (there is no dequeue callback from a cleared queue to
+        wake it), so a churn rejoin must kick it explicitly; CBR sources
+        re-offer on their own self-rescheduling tick, where this is a
+        harmless no-op.
+        """
+        if not self._active:
+            return
+        if self.backlogged:
+            self._fill_queue()
+
     # --------------------------------------------------------------- backlogged
     def _fill_queue(self) -> None:
         if not self._active or not self.backlogged:

@@ -25,10 +25,12 @@ from repro.analysis.metrics import jain_fairness_index
 from repro.core.cliques import maximal_cliques
 from repro.core.lir_error import PairSample, synthetic_pair_from_lir
 from repro.experiment import (
+    ChurnSpec,
     ControllerSpec,
     Experiment,
     ExperimentSpec,
     FlowSpec,
+    MobilitySpec,
     ProbingSpec,
     ScenarioSpec,
     TopologySpec,
@@ -104,6 +106,42 @@ def _grid() -> list[ExperimentSpec]:
                 label=label,
             )
         )
+    # Dynamic scenarios: the same invariants must hold per cycle while
+    # nodes move (waypoint epochs rebuilding the power tables mid-run)
+    # and while a relay churns out and back in.
+    for label, mobility, churn in [
+        (
+            "grid-dynamic-mobility",
+            MobilitySpec(model="waypoint", epoch_s=0.5, speed_mps=1.5),
+            None,
+        ),
+        (
+            "grid-dynamic-churn",
+            None,
+            ChurnSpec(num_events=1, start_s=5.5, end_s=6.0, down_s=0.5),
+        ),
+    ]:
+        specs.append(
+            ExperimentSpec(
+                scenario=ScenarioSpec(
+                    scenario="generated",
+                    seed=5,
+                    topology=TopologySpec(kind="grid", rows=2, cols=2, spacing_m=55.0),
+                    workload=WorkloadSpec(
+                        generator="saturated_udp", num_flows=2, max_hops=2, rate_bps=0.0
+                    ),
+                    rate_mode="11",
+                    mobility=mobility,
+                    churn=churn,
+                ),
+                probing=ProbingSpec(warmup_s=5.0),
+                controller=ControllerSpec(alpha=1.0, probing_window=40),
+                cycles=1,
+                cycle_measure_s=2.0,
+                settle_s=0.5,
+                label=label,
+            )
+        )
     return specs
 
 
@@ -157,8 +195,9 @@ class TestExperimentInvariants:
                         share += rate / capacity
                     assert share <= 1.0 + 1e-6
         # The grid genuinely exercises the optimizer — including on the
-        # generator-built grid and parking-lot scenarios.
-        assert checked >= 5
+        # generator-built grid and parking-lot scenarios and on the
+        # dynamic mobility/churn rows.
+        assert checked >= 7
 
     def test_lir_estimates_in_unit_interval(self, grid_results):
         """Measured pair throughputs can only realize LIRs in [0, 1]."""

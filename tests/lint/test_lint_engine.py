@@ -206,6 +206,27 @@ class TestScoping:
         assert "repro-lint" not in source_path.read_text(encoding="utf-8")
         assert lint_paths([source_path], LintConfig.default()).findings == []
 
+    def test_monitors_are_inside_the_determinism_scope(self) -> None:
+        """Run-time monitors sample inside the event loop and their
+        series land in experiment payloads, so the whole package sits in
+        the determinism scope — wall clocks or unseeded RNG there would
+        leak host noise into content-addressed results — and it earns
+        that scope with zero suppressions and zero findings."""
+        config = LintConfig.default()
+        for module in (
+            "repro/monitors/base.py",
+            "repro/monitors/flows.py",
+            "repro/monitors/__init__.py",
+        ):
+            for code in ("RPL102", "RPL103", "RPL104"):
+                assert config.applies(code, module)
+        package = REPO / "src" / "repro" / "monitors"
+        sources = sorted(package.glob("*.py"))
+        assert sources, "monitors package must exist"
+        for source_path in sources:
+            assert "repro-lint" not in source_path.read_text(encoding="utf-8")
+        assert lint_paths(sources, LintConfig.default()).findings == []
+
 
 class TestReportAndCli:
     def test_json_output_schema(self, tmp_path: Path) -> None:

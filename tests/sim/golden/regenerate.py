@@ -66,6 +66,29 @@ def _chain3() -> MeshNetwork:
     return net
 
 
+def _drift2() -> MeshNetwork:
+    """2-node marginal link under Gaussian drift mobility.
+
+    The 140 m spacing puts the link on the steep part of the PER curve,
+    so every position epoch's power-table rebuild visibly changes
+    delivery outcomes; freezing this trace pins the incremental
+    ``update_positions`` path (row recompute, memo invalidation, snapshot
+    balance) byte-for-byte across refactors.
+    """
+    from repro.sim import DynamicsDriver, build_mobility
+
+    net = MeshNetwork(chain_topology(2, spacing_m=140.0), seed=5)
+    net.add_udp_flow([0, 1]).start()
+    trajectory = build_mobility(
+        "drift",
+        net.positions,
+        {"drift_sigma_m": 8.0, "area_margin_m": 40.0},
+        seed=5,
+    )
+    DynamicsDriver(net, trajectory=trajectory, epoch_s=0.1).install()
+    return net
+
+
 def _hidden_terminal() -> MeshNetwork:
     """Hidden-terminal (information-asymmetry) pair, shadowing off.
 
@@ -89,6 +112,7 @@ def _hidden_terminal() -> MeshNetwork:
 #: second of wall clock): they execute in every tier-1 pass.
 GOLDEN_SCENARIOS: dict[str, Callable[[], MeshNetwork]] = {
     "chain3": _chain3,
+    "drift2": _drift2,
     "hidden_terminal": _hidden_terminal,
 }
 

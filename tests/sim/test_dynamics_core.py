@@ -1,0 +1,266 @@
+"""Core dynamics invariants: incremental power-table rebuilds, exact memo
+invalidation, snapshot-balanced sensed energy across position epochs, churn
+fail/revive semantics, and trajectory/schedule determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    DynamicsDriver,
+    EventTraceRecorder,
+    MeshNetwork,
+    build_mobility,
+    chain_topology,
+    generate_churn_schedule,
+    mobility_names,
+)
+from repro.sim.dynamics import ChurnEvent, apply_rate_adaptation
+
+
+def _net(num_nodes: int = 5, spacing_m: float = 80.0, seed: int = 11) -> MeshNetwork:
+    return MeshNetwork(chain_topology(num_nodes, spacing_m=spacing_m), seed=seed)
+
+
+class TestIncrementalRebuild:
+    def test_matches_fresh_medium_bit_for_bit(self):
+        """Moving nodes incrementally must equal a fresh build at the new
+        positions in every table and scalar mirror."""
+        net = _net()
+        moved = {1: (95.0, 33.0), 3: (212.0, -41.0)}
+        net.update_positions(moved)
+
+        positions = dict(net.positions)
+        fresh = MeshNetwork(positions, seed=11)
+
+        assert np.array_equal(net.medium._power_dbm, fresh.medium._power_dbm)
+        assert np.array_equal(net.medium._power_mw, fresh.medium._power_mw)
+        assert net.medium._pow_dbm == fresh.medium._pow_dbm
+        assert net.medium._pow_mw == fresh.medium._pow_mw
+        assert net.medium._pow_dbm_from == fresh.medium._pow_dbm_from
+        assert net.medium._pow_mw_from == fresh.medium._pow_mw_from
+        assert net.medium._snr_from == fresh.medium._snr_from
+        assert net.medium._sensed_rows == fresh.medium._sensed_rows
+
+    def test_network_positions_follow(self):
+        net = _net()
+        net.update_positions({0: (7.0, 9.0)})
+        assert net.positions[0] == (7.0, 9.0)
+        assert net.medium.positions[0] == (7.0, 9.0)
+
+    def test_unknown_node_rejected(self):
+        net = _net()
+        with pytest.raises(KeyError):
+            net.update_positions({99: (0.0, 0.0)})
+        with pytest.raises(KeyError):
+            net.medium.set_node_active(99, False)
+
+    def test_rows_are_replaced_not_mutated(self):
+        """In-flight snapshots must keep pointing at the pre-epoch rows."""
+        net = _net()
+        before_sensed = net.medium._sensed_rows
+        before_mw_row = net.medium._pow_mw_from[1]
+        net.update_positions({1: (95.0, 33.0)})
+        assert net.medium._sensed_rows is not before_sensed
+        assert net.medium._pow_mw_from[1] is not before_mw_row
+        # ... and the old objects still hold their pre-epoch values.
+        assert before_sensed != net.medium._sensed_rows
+
+
+class TestMemoInvalidation:
+    def test_only_moved_keys_dropped(self):
+        net = _net()
+        medium = net.medium
+        medium._per_cache[(0, 1, 11_000_000, 1500)] = 0.25
+        medium._per_cache[(2, 3, 11_000_000, 1500)] = 0.5
+        medium._resolve_cache[(0, 1, 11_000_000, 1500, 1.0)] = ("x", 0.0)
+        medium._resolve_cache[(3, 4, 11_000_000, 1500, 1.0)] = ("y", 0.0)
+        medium._airtime_cache[(1500, 11_000_000)] = 1e-3
+
+        net.update_positions({1: (95.0, 33.0)})
+
+        assert (0, 1, 11_000_000, 1500) not in medium._per_cache
+        assert (2, 3, 11_000_000, 1500) in medium._per_cache
+        assert (0, 1, 11_000_000, 1500, 1.0) not in medium._resolve_cache
+        assert (3, 4, 11_000_000, 1500, 1.0) in medium._resolve_cache
+        # airtime is position-independent and must survive an epoch
+        assert (1500, 11_000_000) in medium._airtime_cache
+
+    def test_broadcast_memo_cleared(self):
+        net = _net()
+        medium = net.medium
+        medium._bcast_receivers[(0, 11_000_000)] = []
+        net.update_positions({4: (400.0, 5.0)})
+        assert not medium._bcast_receivers
+
+
+class TestEpochTransparency:
+    """Position epochs that move nothing must be invisible: same delivery
+    trace, same RNG draws, no busy/idle flips — the strongest form of the
+    snapshot-balance invariant, checked through the golden digest."""
+
+    @staticmethod
+    def _run(with_null_epochs: bool) -> str:
+        net = MeshNetwork(chain_topology(3), seed=11)
+        net.add_udp_flow([0, 1, 2]).start()
+        net.add_udp_flow([2, 1], rate_bps=400_000.0).start()
+        recorder = EventTraceRecorder(net.sim, net.medium)
+        if with_null_epochs:
+            def epoch() -> None:
+                # recompute-in-place: same coordinates, full row rebuild,
+                # memo invalidation and all
+                net.update_positions({n: net.positions[n] for n in (0, 1)})
+                net.sim.schedule(0.05, epoch)
+
+            net.sim.schedule(0.05, epoch)
+        net.run(1.0)
+        return recorder.digest
+
+    def test_null_move_epochs_leave_trace_identical(self):
+        assert self._run(False) == self._run(True)
+
+
+class TestChurn:
+    def test_fail_stops_delivery_revive_restores_it(self):
+        net = MeshNetwork(chain_topology(2), seed=3)
+        handle = net.add_udp_flow([0, 1])
+        handle.start()
+        net.run(0.5)
+        delivered_before = handle.sink.received_packets
+        assert delivered_before > 0
+
+        net.fail_node(1)
+        net.run(0.5)
+        assert handle.sink.received_packets == delivered_before
+        assert net.medium.loss_counts["rx_off"] > 0
+
+        net.revive_node(1)
+        net.run(0.5)
+        assert handle.sink.received_packets > delivered_before
+
+    def test_failed_source_quiesces_and_revives(self):
+        net = MeshNetwork(chain_topology(2), seed=3)
+        handle = net.add_udp_flow([0, 1])
+        handle.start()
+        net.run(0.5)
+        delivered_before = handle.sink.received_packets
+
+        net.fail_node(0)
+        assert net.nodes[0].mac.down
+        assert net.nodes[0].mac.queue_length == 0
+        net.run(0.5)
+        assert handle.sink.received_packets == delivered_before
+
+        # revive re-primes the backlogged source (the refresh kick)
+        net.revive_node(0)
+        net.run(0.5)
+        assert handle.sink.received_packets > delivered_before
+
+    def test_fail_is_idempotent(self):
+        net = MeshNetwork(chain_topology(2), seed=3)
+        net.fail_node(1)
+        net.fail_node(1)
+        net.revive_node(1)
+        assert not net.medium._inactive
+
+
+class TestTrajectories:
+    def test_registered_models(self):
+        assert "waypoint" in mobility_names()
+        assert "drift" in mobility_names()
+
+    @pytest.mark.parametrize("model,params", [
+        ("waypoint", {"epoch_s": 1.0, "speed_mps": 2.0, "pause_s": 0.5}),
+        ("drift", {"drift_sigma_m": 3.0}),
+    ])
+    def test_same_seed_same_path(self, model, params):
+        positions = dict(chain_topology(4, spacing_m=70.0))
+        a = build_mobility(model, positions, params, seed=9)
+        b = build_mobility(model, positions, params, seed=9)
+        for _ in range(5):
+            assert a.step() == b.step()
+
+    def test_different_seed_diverges(self):
+        positions = dict(chain_topology(4, spacing_m=70.0))
+        a = build_mobility("drift", positions, {"drift_sigma_m": 3.0}, seed=9)
+        b = build_mobility("drift", positions, {"drift_sigma_m": 3.0}, seed=10)
+        assert a.step() != b.step()
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_mobility("teleport", {0: (0.0, 0.0)}, {}, seed=0)
+
+
+class TestChurnSchedule:
+    def test_deterministic_and_sorted(self):
+        ids = list(range(6))
+        kwargs = dict(num_events=3, start_s=5.0, end_s=20.0, down_s=4.0, seed=2)
+        a = generate_churn_schedule(ids, **kwargs)
+        b = generate_churn_schedule(ids, **kwargs)
+        assert a == b
+        assert list(a) == sorted(a, key=lambda e: (e.time_s, e.node_id, e.action))
+
+    def test_protected_nodes_never_fail(self):
+        ids = list(range(6))
+        schedule = generate_churn_schedule(
+            ids, protected=frozenset({0, 5}), num_events=4, seed=2
+        )
+        assert all(event.node_id not in {0, 5} for event in schedule)
+
+    def test_join_follows_fail_by_down_s(self):
+        schedule = generate_churn_schedule(
+            list(range(4)), num_events=2, start_s=1.0, end_s=9.0, down_s=3.0, seed=7
+        )
+        fails = {e.node_id: e.time_s for e in schedule if e.action == "fail"}
+        joins = {e.node_id: e.time_s for e in schedule if e.action == "join"}
+        assert set(joins) == set(fails)
+        for node, t in fails.items():
+            assert joins[node] == pytest.approx(t + 3.0)
+
+    def test_permanent_failure_has_no_join(self):
+        schedule = generate_churn_schedule(list(range(4)), num_events=2, down_s=0.0, seed=7)
+        assert all(event.action == "fail" for event in schedule)
+
+
+class TestDynamicsDriver:
+    def test_counters_accumulate(self):
+        net = MeshNetwork(chain_topology(3, spacing_m=70.0), seed=4)
+        net.add_udp_flow([0, 1, 2]).start()
+        trajectory = build_mobility(
+            "drift", net.positions, {"drift_sigma_m": 2.0}, seed=4
+        )
+        schedule = (
+            ChurnEvent(time_s=0.3, node_id=1, action="fail"),
+            ChurnEvent(time_s=0.6, node_id=1, action="join"),
+        )
+        driver = DynamicsDriver(net, trajectory=trajectory, epoch_s=0.1, churn=schedule)
+        driver.install()
+        net.run(1.0)
+        assert driver.meta["epochs_applied"] >= 9
+        assert driver.meta["nodes_moved"] > 0
+        assert driver.meta["fails_applied"] == 1
+        assert driver.meta["joins_applied"] == 1
+
+    def test_install_is_once_only(self):
+        net = MeshNetwork(chain_topology(2), seed=0)
+        driver = DynamicsDriver(net)
+        driver.install()
+        with pytest.raises(RuntimeError):
+            driver.install()
+
+
+class TestRateAdaptation:
+    def test_threshold_assignment(self):
+        # 60 m spacing: adjacent links comfortably above 24 dB SNR at
+        # 0 dB shadowing; the 2-hop pair far below it.
+        from repro.sim import no_shadowing_propagation
+
+        net = MeshNetwork(
+            chain_topology(3, spacing_m=60.0),
+            seed=0,
+            propagation=no_shadowing_propagation(),
+        )
+        apply_rate_adaptation(net)
+        assert net.link_rate((0, 1)).bps == 11e6
+        assert net.link_rate((0, 2)).bps == 1e6
